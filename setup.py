@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs (``pip install -e .``) work in offline environments
+whose setuptools/pip combination lacks the ``wheel`` package required by the
+PEP 660 build path.
+"""
+
+from setuptools import setup
+
+setup()

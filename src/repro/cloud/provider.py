@@ -1,0 +1,496 @@
+"""Base class for synthetic cloud providers.
+
+A :class:`CloudProvider` owns:
+
+* a physical multi-rooted-tree topology (§3.3.1) on which VMs are scheduled;
+* a per-VM hose-model egress cap (§4.3/§4.4) whose base value is drawn from
+  a provider-specific distribution and which drifts slowly over time (the
+  temporal stability of §4.1);
+* the measurement interface a tenant has on a public cloud: bulk TCP
+  transfers (netperf), UDP packet trains, traceroute, and fine-grained probe
+  throughput time series;
+* an execution interface (:meth:`simulate`) used to "transfer data as
+  specified by the placement algorithm and the traffic matrix" (§6.1) on the
+  fluid simulator.
+
+Concrete providers (:mod:`repro.cloud.ec2`, :mod:`repro.cloud.ec2_legacy`,
+:mod:`repro.cloud.rackspace`) only supply a :class:`ProviderParams`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CloudError, SimulationError
+from repro.cloud.instances import InstanceType, VirtualMachine, EC2_MEDIUM
+from repro.net.fluid import FluidResult, FluidSimulation, RateTimeline
+from repro.net.flows import Flow
+from repro.net.latency import LatencyModel
+from repro.net.links import hose_link_id
+from repro.net.packets import (
+    PacketTrainSpec,
+    PathTransmissionModel,
+    TokenBucket,
+    TrainObservation,
+    send_packet_train,
+)
+from repro.net.topology import Topology, TreeSpec, build_multi_rooted_tree
+from repro.net.traceroute import traceroute_hop_count
+from repro.units import GBITPS
+
+HoseSampler = Callable[[np.random.Generator], float]
+
+
+@dataclass(frozen=True)
+class VMFlow:
+    """A tenant-level transfer between two VMs.
+
+    Attributes:
+        flow_id: unique identifier.
+        src_vm, dst_vm: VM names (must exist on the provider).
+        size_bytes: bytes to transfer, or ``None`` for a backlogged flow.
+        start_time: absolute start time in seconds.
+        end_time: stop time for backlogged flows.
+        tag: free-form label (application name, "cross-traffic", ...).
+    """
+
+    flow_id: str
+    src_vm: str
+    dst_vm: str
+    size_bytes: Optional[float] = None
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class ProviderParams:
+    """Everything that distinguishes one synthetic provider from another.
+
+    Attributes:
+        name: provider name ("ec2", "rackspace", ...).
+        instance_type: instance type handed out by :meth:`request_vms`.
+        hose_sampler: draws a VM's base egress cap (bits/s).
+        colocation_probability: probability that a newly requested VM is
+            placed on the same host as one of the tenant's existing VMs
+            (produces the near-4 Gbit/s paths of Figure 2a).
+        intra_host_rate_bps: rate between two VMs sharing a host.
+        temporal_sigma: stationary relative standard deviation of the
+            Ornstein-Uhlenbeck drift applied to each VM's hose rate.
+        temporal_tau_s: OU time constant in seconds.
+        measurement_noise: relative noise of a single netperf measurement.
+        train_jitter_std_s: receiver timestamp jitter for packet trains.
+        train_limiter_depth_bytes: token-bucket depth of the provider's rate
+            limiter as seen by bursts; ``None`` disables the bucket (the
+            burst then drains at the current hose rate directly).
+        train_rate_noise: per-train multiplicative rate error floor (models
+            conditions changing between the ground-truth and train runs).
+        loss_rate: per-packet loss probability for packet trains.
+        traceroute_visible_hops: optional hop-count obscuring map (Rackspace
+            reports only 1- and 4-hop paths).
+        tree_spec: physical topology specification.
+    """
+
+    name: str
+    instance_type: InstanceType = EC2_MEDIUM
+    hose_sampler: HoseSampler = lambda rng: 1 * GBITPS
+    colocation_probability: float = 0.0
+    intra_host_rate_bps: float = 4 * GBITPS
+    temporal_sigma: float = 0.01
+    temporal_tau_s: float = 600.0
+    measurement_noise: float = 0.003
+    train_jitter_std_s: float = 150e-6
+    train_limiter_depth_bytes: Optional[float] = None
+    train_rate_noise: float = 0.03
+    loss_rate: float = 0.0
+    traceroute_visible_hops: Optional[Mapping[int, int]] = None
+    tree_spec: TreeSpec = field(default_factory=TreeSpec)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.colocation_probability <= 1.0:
+            raise CloudError("colocation_probability must be in [0, 1]")
+        if self.temporal_sigma < 0 or self.temporal_tau_s <= 0:
+            raise CloudError("temporal drift parameters are invalid")
+        if self.measurement_noise < 0 or self.train_rate_noise < 0:
+            raise CloudError("noise parameters must be >= 0")
+
+
+class CloudProvider:
+    """A synthetic public cloud a tenant can measure and run traffic on."""
+
+    def __init__(self, params: ProviderParams, seed: int = 0):
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+        spec = replace(params.tree_spec, intra_host_bps=params.intra_host_rate_bps)
+        self.topology: Topology = build_multi_rooted_tree(spec, name=params.name)
+        self.latency = LatencyModel()
+        self._clock = 0.0
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._base_hose: Dict[str, float] = {}
+        self._hose_deviation: Dict[str, float] = {}
+        self._vm_counter = 0
+
+    # ------------------------------------------------------------------ VMs
+    def request_vms(self, n: int, name_prefix: str = "vm") -> List[VirtualMachine]:
+        """Allocate ``n`` VMs, as a tenant would request instances.
+
+        Hosts are chosen uniformly at random among physical machines not yet
+        used by this tenant, except that with ``colocation_probability`` a VM
+        lands on a host already holding one of the tenant's VMs.
+        """
+        if n < 1:
+            raise CloudError("must request at least one VM")
+        all_hosts = self.topology.hosts()
+        new_vms: List[VirtualMachine] = []
+        for _ in range(n):
+            self._vm_counter += 1
+            name = f"{name_prefix}{self._vm_counter}"
+            used_hosts = [vm.host for vm in self._vms.values()]
+            free_hosts = [h for h in all_hosts if h not in used_hosts]
+            colocate = (
+                used_hosts
+                and self._rng.random() < self.params.colocation_probability
+            )
+            if colocate or not free_hosts:
+                host = str(self._rng.choice(sorted(set(used_hosts))))
+            else:
+                host = str(self._rng.choice(free_hosts))
+            vm = VirtualMachine(name=name, host=host, instance_type=self.params.instance_type)
+            self._vms[name] = vm
+            self._base_hose[name] = float(self.params.hose_sampler(self._rng))
+            self._hose_deviation[name] = 0.0
+            new_vms.append(vm)
+        return new_vms
+
+    def vm(self, name: str) -> VirtualMachine:
+        """Look up a VM handle by name."""
+        try:
+            return self._vms[name]
+        except KeyError as exc:
+            raise CloudError(f"unknown VM {name!r}") from exc
+
+    def vms(self) -> List[VirtualMachine]:
+        """All VMs allocated so far, in allocation order."""
+        return list(self._vms.values())
+
+    def release_vm(self, name: str) -> None:
+        """Return a VM to the provider."""
+        if name not in self._vms:
+            raise CloudError(f"unknown VM {name!r}")
+        del self._vms[name]
+        del self._base_hose[name]
+        del self._hose_deviation[name]
+
+    # ---------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current provider time in seconds."""
+        return self._clock
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance the clock, letting per-VM hose rates drift (OU process)."""
+        if seconds < 0:
+            raise CloudError("cannot advance time backwards")
+        if seconds == 0:
+            return
+        self._clock += seconds
+        sigma = self.params.temporal_sigma
+        tau = self.params.temporal_tau_s
+        decay = math.exp(-seconds / tau)
+        innovation_std = sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+        for name in self._hose_deviation:
+            self._hose_deviation[name] = (
+                self._hose_deviation[name] * decay
+                + float(self._rng.normal(0.0, innovation_std))
+            )
+
+    # --------------------------------------------------------- ground truth
+    def hose_rate(self, vm_name: str) -> float:
+        """Current (drifted) egress cap of a VM, in bits/second."""
+        self.vm(vm_name)
+        base = self._base_hose[vm_name]
+        deviation = self._hose_deviation[vm_name]
+        return max(base * (1.0 + deviation), 0.05 * base)
+
+    def true_path_rate(self, src_vm: str, dst_vm: str) -> float:
+        """Single-connection throughput absent any other tenant traffic."""
+        src, dst = self.vm(src_vm), self.vm(dst_vm)
+        if src.host == dst.host:
+            return self.params.intra_host_rate_bps
+        physical = min(
+            link.capacity_bps for link in self.topology.path_links(src.host, dst.host)
+        )
+        return min(self.hose_rate(src_vm), physical)
+
+    def path_hop_count(self, src_vm: str, dst_vm: str) -> int:
+        """True hop count between two VMs (same host counts as one hop)."""
+        src, dst = self.vm(src_vm), self.vm(dst_vm)
+        if src.host == dst.host:
+            return 1
+        return self.topology.hop_count(src.host, dst.host)
+
+    # ---------------------------------------------------------- simulation
+    def _hose_capacities(self) -> Dict[str, float]:
+        return {hose_link_id(name): self.hose_rate(name) for name in self._vms}
+
+    def _to_net_flow(self, vm_flow: VMFlow) -> Tuple[Flow, List[str]]:
+        src, dst = self.vm(vm_flow.src_vm), self.vm(vm_flow.dst_vm)
+        flow = Flow(
+            flow_id=vm_flow.flow_id,
+            src=src.host,
+            dst=dst.host,
+            size_bytes=vm_flow.size_bytes,
+            start_time=vm_flow.start_time,
+            end_time=vm_flow.end_time,
+            tag=vm_flow.tag,
+        )
+        # The hose applies to the VM's egress onto the physical network, so
+        # intra-host (colocated VM) traffic bypasses it.
+        extra = [] if src.host == dst.host else [hose_link_id(vm_flow.src_vm)]
+        return flow, extra
+
+    def build_simulation(
+        self, vm_flows: Sequence[VMFlow] = ()
+    ) -> FluidSimulation:
+        """A fluid simulation of this provider's network with the given flows."""
+        sim = FluidSimulation(
+            self.topology,
+            extra_capacities=self._hose_capacities(),
+        )
+        for vm_flow in vm_flows:
+            flow, extra = self._to_net_flow(vm_flow)
+            sim.add_flow(flow, extra_links=extra)
+        return sim
+
+    def simulate(
+        self,
+        vm_flows: Sequence[VMFlow],
+        until: Optional[float] = None,
+    ) -> FluidResult:
+        """Run the given VM-level flows to completion on the provider network."""
+        return self.build_simulation(vm_flows).run(until=until)
+
+    # ----------------------------------------------------- measurement API
+    def run_netperf(
+        self,
+        src_vm: str,
+        dst_vm: str,
+        duration: float = 10.0,
+        background: Sequence[VMFlow] = (),
+    ) -> float:
+        """Bulk TCP throughput of one connection, netperf-style (bits/s).
+
+        ``background`` flows (e.g. the tenant's running applications) share
+        the network with the probe for the duration of the measurement.
+        """
+        if duration <= 0:
+            raise CloudError("duration must be positive")
+        probe = VMFlow(
+            flow_id="__netperf__",
+            src_vm=src_vm,
+            dst_vm=dst_vm,
+            size_bytes=None,
+            start_time=0.0,
+            end_time=duration,
+            tag="netperf",
+        )
+        shifted = [
+            replace_background_window(flow, duration) for flow in background
+        ]
+        result = self.simulate([probe] + shifted, until=duration)
+        rate = result.timelines["__netperf__"].average_rate(0.0, duration)
+        noise = 1.0 + float(self._rng.normal(0.0, self.params.measurement_noise))
+        return max(rate * noise, 0.0)
+
+    def concurrent_netperf(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        duration: float = 10.0,
+    ) -> Dict[Tuple[str, str], float]:
+        """Throughput of bulk connections run concurrently on several pairs.
+
+        This is the primitive the bottleneck-location experiment of §3.3.2
+        uses: run netperf on both paths at the same time and see whether
+        either slows down.
+        """
+        if duration <= 0:
+            raise CloudError("duration must be positive")
+        if len(set(pairs)) != len(pairs):
+            raise CloudError("concurrent_netperf pairs must be unique")
+        flows = [
+            VMFlow(
+                flow_id=f"__concurrent_{i}__",
+                src_vm=src,
+                dst_vm=dst,
+                size_bytes=None,
+                start_time=0.0,
+                end_time=duration,
+                tag="netperf",
+            )
+            for i, (src, dst) in enumerate(pairs)
+        ]
+        result = self.simulate(flows, until=duration)
+        rates: Dict[Tuple[str, str], float] = {}
+        for i, (src, dst) in enumerate(pairs):
+            rate = result.timelines[f"__concurrent_{i}__"].average_rate(0.0, duration)
+            noise = 1.0 + float(self._rng.normal(0.0, self.params.measurement_noise))
+            rates[(src, dst)] = max(rate * noise, 0.0)
+        return rates
+
+    def probe_throughput_series(
+        self,
+        src_vm: str,
+        dst_vm: str,
+        duration: float = 10.0,
+        sample_interval: float = 0.01,
+        background: Sequence[VMFlow] = (),
+    ) -> List[Tuple[float, float]]:
+        """Per-``sample_interval`` throughput of one bulk probe connection.
+
+        This reproduces the §3.2 measurement: run one bulk transfer for ten
+        seconds, log packet timestamps at the receiver, and derive the
+        throughput every 10 ms.
+        """
+        if duration <= 0 or sample_interval <= 0:
+            raise CloudError("duration and sample_interval must be positive")
+        probe = VMFlow(
+            flow_id="__probe__",
+            src_vm=src_vm,
+            dst_vm=dst_vm,
+            size_bytes=None,
+            start_time=0.0,
+            end_time=duration,
+            tag="probe",
+        )
+        result = self.simulate([probe] + list(background), until=duration)
+        timeline = result.timelines["__probe__"]
+        return timeline.sample(sample_interval, start=0.0, end=duration)
+
+    def snapshot_rate(
+        self,
+        src_vm: str,
+        dst_vm: str,
+        background: Sequence[VMFlow] = (),
+        window_s: float = 0.1,
+    ) -> float:
+        """Instantaneous rate a new bulk connection would get on this path.
+
+        The probe shares the network with ``background`` flows (treated as
+        backlogged for the short snapshot window).  Used to model how probes
+        and packet trains see the network while the tenant's other
+        applications are running.
+        """
+        probe = VMFlow(
+            flow_id="__snapshot__",
+            src_vm=src_vm,
+            dst_vm=dst_vm,
+            size_bytes=None,
+            start_time=0.0,
+            end_time=window_s,
+            tag="snapshot",
+        )
+        shifted = [replace_background_window(flow, window_s) for flow in background]
+        result = self.simulate([probe] + shifted, until=window_s)
+        return result.timelines["__snapshot__"].average_rate(0.0, window_s)
+
+    def packet_train_model(
+        self,
+        src_vm: str,
+        dst_vm: str,
+        background: Sequence[VMFlow] = (),
+    ) -> PathTransmissionModel:
+        """The burst transmission model a packet train sees on this path."""
+        src, dst = self.vm(src_vm), self.vm(dst_vm)
+        rate_noise = 1.0 + float(self._rng.normal(0.0, self.params.train_rate_noise))
+        rate_noise = max(rate_noise, 0.2)
+        if src.host == dst.host:
+            return PathTransmissionModel(
+                line_rate_bps=10 * GBITPS,
+                unlimited_rate_bps=self.params.intra_host_rate_bps * rate_noise,
+                limiter=None,
+                base_delay_s=20e-6,
+                jitter_std_s=self.params.train_jitter_std_s,
+                loss_rate=self.params.loss_rate,
+            )
+        physical = min(
+            link.capacity_bps for link in self.topology.path_links(src.host, dst.host)
+        )
+        if background:
+            available = self.snapshot_rate(src_vm, dst_vm, background=background)
+        else:
+            available = self.hose_rate(src_vm)
+        available *= rate_noise
+        if self.params.train_limiter_depth_bytes is None:
+            # Hose enforcement is smooth: the burst drains at the available rate.
+            return PathTransmissionModel(
+                line_rate_bps=10 * GBITPS,
+                unlimited_rate_bps=min(available, physical),
+                limiter=None,
+                base_delay_s=100e-6,
+                jitter_std_s=self.params.train_jitter_std_s,
+                loss_rate=self.params.loss_rate,
+            )
+        limiter = TokenBucket(
+            rate_bps=available,
+            depth_bytes=self.params.train_limiter_depth_bytes,
+        )
+        return PathTransmissionModel(
+            line_rate_bps=10 * GBITPS,
+            unlimited_rate_bps=physical,
+            limiter=limiter,
+            base_delay_s=100e-6,
+            jitter_std_s=self.params.train_jitter_std_s,
+            loss_rate=self.params.loss_rate,
+        )
+
+    def send_packet_train(
+        self,
+        src_vm: str,
+        dst_vm: str,
+        spec: PacketTrainSpec = PacketTrainSpec(),
+        background: Sequence[VMFlow] = (),
+    ) -> TrainObservation:
+        """Send one packet train between two VMs and return the observations."""
+        model = self.packet_train_model(src_vm, dst_vm, background=background)
+        rtt = self.rtt(src_vm, dst_vm)
+        return send_packet_train(model, spec, rng=self._rng, rtt_s=rtt)
+
+    def traceroute(self, src_vm: str, dst_vm: str) -> int:
+        """Hop count reported by traceroute (possibly obscured by the provider)."""
+        src, dst = self.vm(src_vm), self.vm(dst_vm)
+        if src.host == dst.host:
+            return 1
+        return traceroute_hop_count(
+            self.topology,
+            src.host,
+            dst.host,
+            visible_hops=self.params.traceroute_visible_hops,
+        )
+
+    def rtt(self, src_vm: str, dst_vm: str) -> float:
+        """Round-trip time between two VMs in seconds."""
+        return self.latency.rtt(self.path_hop_count(src_vm, dst_vm), rng=self._rng)
+
+
+def replace_background_window(flow: VMFlow, duration: float) -> VMFlow:
+    """Clamp a background flow into the measurement window ``[0, duration]``.
+
+    Measurement helpers simulate only the probe window, so background flows
+    are treated as backlogged for the (short) duration of the measurement —
+    the same approximation the paper makes when it measures while other
+    applications run.
+    """
+    return VMFlow(
+        flow_id=flow.flow_id,
+        src_vm=flow.src_vm,
+        dst_vm=flow.dst_vm,
+        size_bytes=None,
+        start_time=0.0,
+        end_time=duration,
+        tag=flow.tag or "background",
+    )

@@ -1,0 +1,75 @@
+"""Choreo itself: profiling, measurement, and network-aware placement.
+
+This package is the paper's primary contribution.  The substrates it runs on
+(the network simulator, synthetic cloud providers, and workload generator)
+live in :mod:`repro.net`, :mod:`repro.cloud`, and :mod:`repro.workloads`.
+
+* :mod:`repro.core.profiler` — application profiling (§2.1).
+* :mod:`repro.core.network_profile` — the measured view of the network.
+* :mod:`repro.core.measurement` — packet trains, cross-traffic estimation,
+  bottleneck location (§3), and the full-mesh measurement orchestrator.
+* :mod:`repro.core.placement` — greedy Algorithm 1, the ILP of the Appendix,
+  and the Random / Round-robin / Minimum-Machines baselines (§5, §6).
+* :mod:`repro.core.choreo` — the end-to-end system (§2).
+"""
+
+from repro.core.network_profile import NetworkProfile
+from repro.core.profiler import ApplicationProfiler
+from repro.core.rate_model import ConnectionLoad, effective_rate
+from repro.core.estimator import estimate_completion_time, machine_pair_bytes
+from repro.core.placement import (
+    Machine,
+    ClusterState,
+    Placement,
+    Placer,
+    GreedyPlacer,
+    OptimalPlacer,
+    BruteForcePlacer,
+    RandomPlacer,
+    RoundRobinPlacer,
+    MinimumMachinesPlacer,
+)
+from repro.core.measurement import (
+    ThroughputEstimate,
+    estimate_throughput,
+    mathis_throughput,
+    CrossTrafficEstimate,
+    estimate_cross_traffic_series,
+    infer_capacity_from_two_probes,
+    InterferenceResult,
+    BottleneckReport,
+    BottleneckLocator,
+    NetworkMeasurer,
+)
+from repro.core.choreo import ChoreoSystem, ChoreoConfig
+
+__all__ = [
+    "NetworkProfile",
+    "ApplicationProfiler",
+    "ConnectionLoad",
+    "effective_rate",
+    "estimate_completion_time",
+    "machine_pair_bytes",
+    "Machine",
+    "ClusterState",
+    "Placement",
+    "Placer",
+    "GreedyPlacer",
+    "OptimalPlacer",
+    "BruteForcePlacer",
+    "RandomPlacer",
+    "RoundRobinPlacer",
+    "MinimumMachinesPlacer",
+    "ThroughputEstimate",
+    "estimate_throughput",
+    "mathis_throughput",
+    "CrossTrafficEstimate",
+    "estimate_cross_traffic_series",
+    "infer_capacity_from_two_probes",
+    "InterferenceResult",
+    "BottleneckReport",
+    "BottleneckLocator",
+    "NetworkMeasurer",
+    "ChoreoSystem",
+    "ChoreoConfig",
+]

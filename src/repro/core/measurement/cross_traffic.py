@@ -1,0 +1,123 @@
+"""Cross-traffic estimation (paper §3.2, Figure 4).
+
+Choreo estimates the "equivalent number of concurrent bulk TCP connections"
+``c`` on a path by running one bulk probe connection and measuring its
+throughput frequently (every 10 ms): if the path's maximum rate is ``c1``
+and the probe sees ``c2``, then ``c = c1/c2 - 1``.
+
+``c`` is a measure of *load*, not a count of discrete connections: a value
+of one simply means load equivalent to one continuously backlogged TCP
+sender.  When the path's maximum rate is unknown, it can be inferred by
+running first one and then two probe connections on the path
+(:func:`infer_capacity_from_two_probes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class CrossTrafficEstimate:
+    """Cross-traffic estimate at one sampling instant."""
+
+    time_s: float
+    probe_rate_bps: float
+    equivalent_connections: float
+
+    @property
+    def rounded(self) -> int:
+        """The integer number of equivalent background connections."""
+        return int(round(self.equivalent_connections))
+
+
+def estimate_cross_traffic(
+    probe_rate_bps: float, path_capacity_bps: float
+) -> float:
+    """The instantaneous estimate ``c = c1/c2 - 1`` (floored at zero)."""
+    if path_capacity_bps <= 0:
+        raise MeasurementError("path capacity must be positive")
+    if probe_rate_bps <= 0:
+        raise MeasurementError("probe rate must be positive")
+    return max(path_capacity_bps / probe_rate_bps - 1.0, 0.0)
+
+
+def estimate_cross_traffic_series(
+    samples: Sequence[Tuple[float, float]],
+    path_capacity_bps: float,
+    smoothing_window: int = 1,
+) -> List[CrossTrafficEstimate]:
+    """Convert a probe throughput time series into a cross-traffic series.
+
+    Args:
+        samples: ``(time, probe_rate)`` samples, e.g. from
+            :meth:`repro.cloud.provider.CloudProvider.probe_throughput_series`.
+        path_capacity_bps: the path's maximum rate ``c1`` (known from the
+            provider's advertised rate or a prior quiet measurement).
+        smoothing_window: optional moving-average window (in samples) applied
+            to the probe rate before estimating, to suppress sampling noise.
+
+    Returns:
+        One :class:`CrossTrafficEstimate` per input sample (samples with a
+        zero probe rate are skipped — the probe was not running).
+    """
+    if smoothing_window < 1:
+        raise MeasurementError("smoothing_window must be >= 1")
+    rates = np.array([rate for _, rate in samples], dtype=float)
+    if smoothing_window > 1 and len(rates) >= smoothing_window:
+        kernel = np.ones(smoothing_window) / smoothing_window
+        rates = np.convolve(rates, kernel, mode="same")
+    estimates: List[CrossTrafficEstimate] = []
+    for (time_s, _), rate in zip(samples, rates):
+        if rate <= 0:
+            continue
+        estimates.append(
+            CrossTrafficEstimate(
+                time_s=time_s,
+                probe_rate_bps=float(rate),
+                equivalent_connections=estimate_cross_traffic(
+                    float(rate), path_capacity_bps
+                ),
+            )
+        )
+    return estimates
+
+
+def infer_capacity_from_two_probes(
+    rate_one_probe_bps: float, rate_two_probes_bps: float
+) -> Tuple[float, float]:
+    """Infer path capacity and cross traffic from one- and two-probe runs.
+
+    With ``c`` background connections on a path of capacity ``C``, one probe
+    sees ``C / (c + 1)`` and each of two probes sees ``C / (c + 2)``.
+    Solving the two equations gives ``c`` and ``C`` (§3.2's fallback when
+    the maximum rate is unknown).
+
+    Args:
+        rate_one_probe_bps: throughput of a single probe connection.
+        rate_two_probes_bps: per-connection throughput with two probes.
+
+    Returns:
+        ``(capacity_bps, equivalent_connections)``.
+
+    Raises:
+        MeasurementError: if the inputs are inconsistent (the two-probe rate
+            must be positive and strictly smaller than the one-probe rate).
+    """
+    r1, r2 = rate_one_probe_bps, rate_two_probes_bps
+    if r1 <= 0 or r2 <= 0:
+        raise MeasurementError("probe rates must be positive")
+    if r2 >= r1:
+        # No measurable sharing: the path is not saturated by the probes, so
+        # there is effectively no backlogged cross traffic and the capacity
+        # is at least twice the two-probe rate.
+        return 2.0 * r2, 0.0
+    cross = (2.0 * r2 - r1) / (r1 - r2)
+    cross = max(cross, 0.0)
+    capacity = r1 * (cross + 1.0)
+    return capacity, cross

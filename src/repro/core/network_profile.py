@@ -1,0 +1,157 @@
+"""The measured view of the cloud network (output of Choreo's measurement).
+
+A :class:`NetworkProfile` is what Choreo's placement algorithms consume: the
+estimated single-connection TCP throughput for every ordered VM pair
+(``R`` in the Appendix), optional per-path cross-traffic estimates (``c``
+from §3.2), optional per-VM hose-rate estimates, and which sharing model the
+measurements support ("hose" on EC2/Rackspace, §4.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class NetworkProfile:
+    """Pairwise network measurements for a set of VMs.
+
+    Attributes:
+        vms: the VM names covered by this profile.
+        rates_bps: estimated single-connection throughput per ordered pair.
+        intra_vm_rate_bps: rate used for two tasks placed on the same VM;
+            the paper models intra-machine paths as essentially infinite.
+        cross_traffic: per-ordered-pair equivalent number of background bulk
+            connections (``c`` from §3.2), defaulting to zero.
+        hose_rates_bps: per-VM estimated egress cap; when missing, the
+            maximum measured rate out of the VM is used.
+        sharing_model: ``"hose"`` (connections out of one VM share its
+            egress cap) or ``"pipe"`` (connections on the same path share
+            that path's rate) — §4.4 finds "hose" on EC2 and Rackspace.
+        measured_at: provider time at which the measurement was taken.
+        measurement_duration_s: wall-clock cost of the measurement campaign.
+    """
+
+    vms: List[str]
+    rates_bps: Dict[Tuple[str, str], float]
+    intra_vm_rate_bps: float = math.inf
+    cross_traffic: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    hose_rates_bps: Dict[str, float] = field(default_factory=dict)
+    sharing_model: str = "hose"
+    measured_at: float = 0.0
+    measurement_duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.vms)) != len(self.vms):
+            raise MeasurementError("duplicate VM names in profile")
+        if self.sharing_model not in ("hose", "pipe"):
+            raise MeasurementError(
+                f"sharing_model must be 'hose' or 'pipe', got {self.sharing_model!r}"
+            )
+        known = set(self.vms)
+        for (src, dst), rate in self.rates_bps.items():
+            if src not in known or dst not in known:
+                raise MeasurementError(
+                    f"profile rate references unknown VM {src!r} or {dst!r}"
+                )
+            if rate <= 0:
+                raise MeasurementError(f"rate for ({src!r}, {dst!r}) must be positive")
+            if src == dst:
+                raise MeasurementError("rates_bps must not contain self pairs")
+        for c in self.cross_traffic.values():
+            if c < 0:
+                raise MeasurementError("cross traffic estimates must be >= 0")
+
+    # ------------------------------------------------------------- accessors
+    def rate(self, src_vm: str, dst_vm: str) -> float:
+        """Estimated single-connection throughput from ``src_vm`` to ``dst_vm``."""
+        if src_vm == dst_vm:
+            return self.intra_vm_rate_bps
+        try:
+            return self.rates_bps[(src_vm, dst_vm)]
+        except KeyError as exc:
+            raise MeasurementError(
+                f"profile has no measurement for ({src_vm!r}, {dst_vm!r})"
+            ) from exc
+
+    def has_pair(self, src_vm: str, dst_vm: str) -> bool:
+        """True if the ordered pair was measured (self pairs always count)."""
+        return src_vm == dst_vm or (src_vm, dst_vm) in self.rates_bps
+
+    def cross(self, src_vm: str, dst_vm: str) -> float:
+        """Cross-traffic estimate ``c`` for a pair (0 when not measured)."""
+        if src_vm == dst_vm:
+            return 0.0
+        return self.cross_traffic.get((src_vm, dst_vm), 0.0)
+
+    def hose_rate(self, vm: str) -> float:
+        """Estimated egress cap of a VM.
+
+        Falls back to the maximum measured rate out of the VM, which is the
+        natural hose estimate when the provider does not advertise one.
+        """
+        if vm in self.hose_rates_bps:
+            return self.hose_rates_bps[vm]
+        outgoing = [rate for (src, _), rate in self.rates_bps.items() if src == vm]
+        if not outgoing:
+            raise MeasurementError(f"profile has no measurements out of {vm!r}")
+        return max(outgoing)
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All measured ordered pairs."""
+        return list(self.rates_bps.keys())
+
+    def fastest_pairs(self, n: Optional[int] = None) -> List[Tuple[str, str, float]]:
+        """Measured pairs sorted by descending rate (ties broken by name)."""
+        ranked = sorted(
+            ((src, dst, rate) for (src, dst), rate in self.rates_bps.items()),
+            key=lambda item: (-item[2], item[0], item[1]),
+        )
+        return ranked if n is None else ranked[:n]
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_uniform_rate(
+        cls,
+        vms: Sequence[str],
+        rate_bps: float,
+        intra_vm_rate_bps: float = math.inf,
+        sharing_model: str = "hose",
+    ) -> "NetworkProfile":
+        """A profile where every pair has the same rate (Rackspace-like)."""
+        if rate_bps <= 0:
+            raise MeasurementError("rate must be positive")
+        rates = {
+            (a, b): rate_bps for a in vms for b in vms if a != b
+        }
+        return cls(
+            vms=list(vms),
+            rates_bps=rates,
+            intra_vm_rate_bps=intra_vm_rate_bps,
+            sharing_model=sharing_model,
+        )
+
+    @classmethod
+    def from_rate_function(
+        cls,
+        vms: Sequence[str],
+        rate_fn,
+        intra_vm_rate_bps: float = math.inf,
+        sharing_model: str = "hose",
+    ) -> "NetworkProfile":
+        """A profile built by calling ``rate_fn(src, dst)`` for every pair."""
+        rates = {}
+        for a in vms:
+            for b in vms:
+                if a != b:
+                    rates[(a, b)] = float(rate_fn(a, b))
+        return cls(
+            vms=list(vms),
+            rates_bps=rates,
+            intra_vm_rate_bps=intra_vm_rate_bps,
+            sharing_model=sharing_model,
+        )

@@ -1,0 +1,182 @@
+"""Greedy network-aware placement — Algorithm 1 of the paper (§5).
+
+The algorithm walks the application's transfers in descending order of
+volume and places each pair of tasks on the machine pair whose path offers
+the highest rate, given what has already been placed:
+
+* if one endpoint is already placed, only paths touching its machine are
+  candidates;
+* intra-machine paths have essentially infinite rate, so the heuristic
+  naturally colocates heavily communicating tasks when CPU allows;
+* the candidate rate accounts for connections already placed in this round,
+  under either the hose model (connections share the source's egress) or the
+  pipe model (connections share the specific path) — see
+  :func:`repro.core.rate_model.effective_rate`.
+
+Tasks that never communicate are placed last on the machines with the most
+free CPU.  The result is not guaranteed optimal (Figure 9 shows a
+counter-example), but §5 reports it within 13% (median) of the optimum
+while scaling far better.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.network_profile import NetworkProfile
+from repro.core.placement.base import ClusterState, Placement, Placer, validate_placement
+from repro.core.rate_model import ConnectionLoad, effective_rate
+from repro.errors import PlacementError
+from repro.workloads.application import Application
+
+_EPS = 1e-9
+
+
+class GreedyPlacer(Placer):
+    """Algorithm 1: greedy network-aware placement.
+
+    Args:
+        model: ``"hose"`` or ``"pipe"`` — how already-placed connections
+            affect a candidate path's rate (the paper's clouds are hose).
+        prefer_colocation: break rate ties in favour of placing both tasks
+            on the same machine (intra-machine rates are typically infinite,
+            so this only matters when the profile's intra-VM rate is finite).
+    """
+
+    name = "choreo-greedy"
+
+    def __init__(self, model: str = "hose", prefer_colocation: bool = True):
+        if model not in ("hose", "pipe"):
+            raise PlacementError(f"unknown rate model {model!r}")
+        self.model = model
+        self.prefer_colocation = prefer_colocation
+
+    # ------------------------------------------------------------------ API
+    def place(
+        self,
+        app: Application,
+        cluster: ClusterState,
+        profile: Optional[NetworkProfile] = None,
+    ) -> Placement:
+        if profile is None:
+            raise PlacementError("the greedy placer needs a network profile")
+        self.check_feasible(app, cluster)
+
+        machines = cluster.machine_names()
+        for machine in machines:
+            if machine not in profile.vms:
+                raise PlacementError(
+                    f"machine {machine!r} is not covered by the network profile"
+                )
+
+        assignments: Dict[str, str] = {}
+        free_cpu = {m: cluster.available_cpu(m) for m in machines}
+        load = ConnectionLoad()
+
+        def cpu_fits(task_name: str, machine: str, pending_same: float = 0.0) -> bool:
+            return app.cpu_demand(task_name) + pending_same <= free_cpu[machine] + _EPS
+
+        def assign(task_name: str, machine: str) -> None:
+            assignments[task_name] = machine
+            free_cpu[machine] -= app.cpu_demand(task_name)
+
+        # Line 2: walk transfers in descending order of volume.
+        for src_task, dst_task, _volume in app.transfers():
+            src_placed = assignments.get(src_task)
+            dst_placed = assignments.get(dst_task)
+
+            if src_placed is not None and dst_placed is not None:
+                # Both endpoints already pinned; just account for the
+                # connection so later rate estimates see it.
+                load.add(src_placed, dst_placed)
+                continue
+
+            candidates = self._candidate_paths(
+                app, src_task, dst_task, src_placed, dst_placed,
+                machines, cpu_fits,
+            )
+            if not candidates:
+                raise PlacementError(
+                    f"no CPU-feasible machine pair for transfer "
+                    f"{src_task!r} -> {dst_task!r} of application {app.name!r}"
+                )
+
+            best = self._pick_best(candidates, profile, load)
+            src_machine, dst_machine = best
+            if src_placed is None:
+                assign(src_task, src_machine)
+            if dst_placed is None and dst_task not in assignments:
+                assign(dst_task, dst_machine)
+            load.add(src_machine, dst_machine)
+
+        # Tasks with no transfers at all: spread over the freest machines.
+        for task in app.task_names:
+            if task in assignments:
+                continue
+            feasible = [m for m in machines if cpu_fits(task, m)]
+            if not feasible:
+                raise PlacementError(
+                    f"no machine has CPU for task {task!r} of application {app.name!r}"
+                )
+            choice = max(feasible, key=lambda m: (free_cpu[m], m))
+            assign(task, choice)
+
+        placement = Placement(app_name=app.name, assignments=assignments)
+        validate_placement(placement, app, cluster)
+        return placement
+
+    # ------------------------------------------------------------ internals
+    def _candidate_paths(
+        self,
+        app: Application,
+        src_task: str,
+        dst_task: str,
+        src_placed: Optional[str],
+        dst_placed: Optional[str],
+        machines: List[str],
+        cpu_fits,
+    ) -> List[Tuple[str, str]]:
+        """Lines 3-11: enumerate CPU-feasible candidate machine pairs."""
+        candidates: List[Tuple[str, str]] = []
+        if src_placed is not None:
+            # Source pinned: paths k -> N for all machines N (line 4).
+            for dst_machine in machines:
+                if src_placed == dst_machine:
+                    if cpu_fits(dst_task, dst_machine):
+                        candidates.append((src_placed, dst_machine))
+                elif cpu_fits(dst_task, dst_machine):
+                    candidates.append((src_placed, dst_machine))
+        elif dst_placed is not None:
+            # Destination pinned: paths M -> l for all machines M (line 6).
+            for src_machine in machines:
+                if cpu_fits(src_task, src_machine):
+                    candidates.append((src_machine, dst_placed))
+        else:
+            # Neither pinned: all machine pairs, including same-machine
+            # placements (lines 7-8).
+            for src_machine in machines:
+                for dst_machine in machines:
+                    if src_machine == dst_machine:
+                        demand = app.cpu_demand(src_task) + app.cpu_demand(dst_task)
+                        if cpu_fits(src_task, src_machine, pending_same=app.cpu_demand(dst_task)):
+                            candidates.append((src_machine, dst_machine))
+                    else:
+                        if cpu_fits(src_task, src_machine) and cpu_fits(dst_task, dst_machine):
+                            candidates.append((src_machine, dst_machine))
+        return candidates
+
+    def _pick_best(
+        self,
+        candidates: List[Tuple[str, str]],
+        profile: NetworkProfile,
+        load: ConnectionLoad,
+    ) -> Tuple[str, str]:
+        """Lines 12-14: choose the candidate path with the highest rate."""
+        def sort_key(pair: Tuple[str, str]):
+            src, dst = pair
+            rate = effective_rate(profile, src, dst, load, model=self.model)
+            colocated = 1 if (self.prefer_colocation and src == dst) else 0
+            # Highest rate first, then colocation, then deterministic names.
+            return (-rate, -colocated, src, dst)
+
+        return min(candidates, key=sort_key)

@@ -1,0 +1,292 @@
+"""Optimal task placement (the paper's Appendix).
+
+The Appendix formulates completion-time-minimising placement as a quadratic
+program over the assignment matrix ``X`` and linearises it by introducing a
+variable ``z_imjn`` for each product ``X_im * X_jn``.  We implement that
+linearised program with ``scipy.optimize.milp`` (the HiGHS solver), using the
+standard three-inequality product linearisation (``z <= X_im``,
+``z <= X_jn``, ``z >= X_im + X_jn - 1``), which is equivalent at the optimum
+and more robust than the paper's degree-counting equality.
+
+Two bottleneck ("sharing") models are supported, matching
+:func:`repro.core.estimator.estimate_completion_time`:
+
+* ``"hose"`` — flows leaving a machine share its egress cap (what §4.4
+  finds on EC2/Rackspace; the Appendix notes the hose model corresponds to
+  ``S_{mi,mj} = 1``);
+* ``"pipe"`` — every ordered machine pair is its own bottleneck (the
+  Appendix's default when the shared-bottleneck matrix ``S`` is unknown).
+
+:class:`BruteForcePlacer` enumerates every feasible assignment and is used
+to validate the MILP on tiny instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.core.estimator import estimate_completion_time
+from repro.core.network_profile import NetworkProfile
+from repro.core.placement.base import ClusterState, Placement, Placer, validate_placement
+from repro.errors import PlacementError
+from repro.units import BITS_PER_BYTE
+from repro.workloads.application import Application
+
+_EPS = 1e-9
+
+
+class OptimalPlacer(Placer):
+    """Solve the Appendix's linearised placement program with HiGHS.
+
+    Args:
+        model: ``"hose"`` or ``"pipe"`` bottleneck model.
+        time_limit_s: solver time limit; the best incumbent is used if the
+            limit is reached but a feasible solution exists.
+        mip_rel_gap: relative MIP gap at which the solver may stop.
+    """
+
+    name = "choreo-optimal"
+
+    def __init__(
+        self,
+        model: str = "hose",
+        time_limit_s: float = 60.0,
+        mip_rel_gap: float = 1e-4,
+    ):
+        if model not in ("hose", "pipe"):
+            raise PlacementError(f"unknown rate model {model!r}")
+        if time_limit_s <= 0:
+            raise PlacementError("time_limit_s must be positive")
+        self.model = model
+        self.time_limit_s = time_limit_s
+        self.mip_rel_gap = mip_rel_gap
+
+    # -------------------------------------------------------------- solving
+    def place(
+        self,
+        app: Application,
+        cluster: ClusterState,
+        profile: Optional[NetworkProfile] = None,
+    ) -> Placement:
+        if profile is None:
+            raise PlacementError("the optimal placer needs a network profile")
+        self.check_feasible(app, cluster)
+
+        tasks = app.task_names
+        machines = cluster.machine_names()
+        n_tasks, n_machines = len(tasks), len(machines)
+        task_index = {t: i for i, t in enumerate(tasks)}
+
+        # Communicating unordered task pairs and their directed volumes.
+        volumes: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        for src, dst, volume in app.transfers():
+            i, j = task_index[src], task_index[dst]
+            lo, hi = (i, j) if i < j else (j, i)
+            fwd, rev = volumes.get((lo, hi), (0.0, 0.0))
+            if i < j:
+                fwd += volume
+            else:
+                rev += volume
+            volumes[(lo, hi)] = (fwd, rev)
+        pairs = sorted(volumes)
+
+        n_x = n_tasks * n_machines
+        n_z = len(pairs) * n_machines * n_machines
+        n_vars = n_x + n_z + 1  # + the completion-time variable.
+        z_col = n_vars - 1
+
+        def x_col(task: int, machine: int) -> int:
+            return task * n_machines + machine
+
+        def pair_col(pair_idx: int, machine_a: int, machine_b: int) -> int:
+            return n_x + (pair_idx * n_machines + machine_a) * n_machines + machine_b
+
+        rows: List[Tuple[Dict[int, float], float, float]] = []  # (coeffs, lb, ub)
+
+        # Each task is placed on exactly one machine.
+        for t in range(n_tasks):
+            coeffs = {x_col(t, m): 1.0 for m in range(n_machines)}
+            rows.append((coeffs, 1.0, 1.0))
+
+        # CPU capacity per machine.
+        for m, machine in enumerate(machines):
+            coeffs = {
+                x_col(t, m): app.cpu_demand(tasks[t]) for t in range(n_tasks)
+            }
+            rows.append((coeffs, -np.inf, cluster.available_cpu(machine)))
+
+        # Product linearisation for every communicating pair.
+        for p, (i, j) in enumerate(pairs):
+            for a in range(n_machines):
+                for b in range(n_machines):
+                    zc = pair_col(p, a, b)
+                    rows.append(({zc: 1.0, x_col(i, a): -1.0}, -np.inf, 0.0))
+                    rows.append(({zc: 1.0, x_col(j, b): -1.0}, -np.inf, 0.0))
+                    rows.append(
+                        ({x_col(i, a): 1.0, x_col(j, b): 1.0, zc: -1.0}, -np.inf, 1.0)
+                    )
+
+        # Completion-time (bottleneck) constraints.
+        intra_rate = profile.intra_vm_rate_bps
+        if self.model == "hose":
+            for a, machine_a in enumerate(machines):
+                rate = profile.hose_rate(machine_a)
+                if math.isinf(rate):
+                    continue
+                coeffs: Dict[int, float] = {z_col: -1.0}
+                for p, (i, j) in enumerate(pairs):
+                    fwd, rev = volumes[(i, j)]
+                    for b in range(n_machines):
+                        if b == a:
+                            continue
+                        if fwd > 0:
+                            col = pair_col(p, a, b)
+                            coeffs[col] = coeffs.get(col, 0.0) + fwd * BITS_PER_BYTE / rate
+                        if rev > 0:
+                            col = pair_col(p, b, a)
+                            coeffs[col] = coeffs.get(col, 0.0) + rev * BITS_PER_BYTE / rate
+                rows.append((coeffs, -np.inf, 0.0))
+        else:  # pipe
+            for a, machine_a in enumerate(machines):
+                for b, machine_b in enumerate(machines):
+                    if a == b:
+                        continue
+                    rate = profile.rate(machine_a, machine_b)
+                    if math.isinf(rate):
+                        continue
+                    coeffs = {z_col: -1.0}
+                    for p, (i, j) in enumerate(pairs):
+                        fwd, rev = volumes[(i, j)]
+                        if fwd > 0:
+                            col = pair_col(p, a, b)
+                            coeffs[col] = coeffs.get(col, 0.0) + fwd * BITS_PER_BYTE / rate
+                        if rev > 0:
+                            col = pair_col(p, b, a)
+                            coeffs[col] = coeffs.get(col, 0.0) + rev * BITS_PER_BYTE / rate
+                    rows.append((coeffs, -np.inf, 0.0))
+
+        # Intra-machine transfers (only matter when the intra-VM rate is finite).
+        if not math.isinf(intra_rate):
+            for a in range(n_machines):
+                coeffs = {z_col: -1.0}
+                for p, (i, j) in enumerate(pairs):
+                    fwd, rev = volumes[(i, j)]
+                    col = pair_col(p, a, a)
+                    total = (fwd + rev) * BITS_PER_BYTE / intra_rate
+                    if total > 0:
+                        coeffs[col] = coeffs.get(col, 0.0) + total
+                rows.append((coeffs, -np.inf, 0.0))
+
+        # Assemble the sparse constraint matrix.
+        data, row_idx, col_idx, lbs, ubs = [], [], [], [], []
+        for r, (coeffs, lb, ub) in enumerate(rows):
+            for col, value in coeffs.items():
+                row_idx.append(r)
+                col_idx.append(col)
+                data.append(value)
+            lbs.append(lb)
+            ubs.append(ub)
+        matrix = sparse.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(rows), n_vars)
+        )
+        constraints = optimize.LinearConstraint(matrix, lbs, ubs)
+
+        objective = np.zeros(n_vars)
+        objective[z_col] = 1.0
+        integrality = np.ones(n_vars)
+        integrality[z_col] = 0
+        bounds = optimize.Bounds(
+            lb=np.zeros(n_vars),
+            ub=np.concatenate([np.ones(n_vars - 1), [np.inf]]),
+        )
+
+        result = optimize.milp(
+            c=objective,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=bounds,
+            options={
+                "time_limit": self.time_limit_s,
+                "mip_rel_gap": self.mip_rel_gap,
+                "disp": False,
+            },
+        )
+        if result.x is None:
+            raise PlacementError(
+                f"optimal placement failed for {app.name!r}: {result.message}"
+            )
+
+        assignments: Dict[str, str] = {}
+        for t, task in enumerate(tasks):
+            values = [result.x[x_col(t, m)] for m in range(n_machines)]
+            assignments[task] = machines[int(np.argmax(values))]
+        placement = Placement(app_name=app.name, assignments=assignments)
+        validate_placement(placement, app, cluster)
+        return placement
+
+
+class BruteForcePlacer(Placer):
+    """Enumerate every CPU-feasible assignment and keep the best one.
+
+    Only suitable for tiny instances (``machines ** tasks`` assignments are
+    enumerated); used to validate the MILP formulation in tests.
+    """
+
+    name = "brute-force"
+
+    def __init__(self, model: str = "hose", max_assignments: int = 2_000_000):
+        if model not in ("hose", "pipe"):
+            raise PlacementError(f"unknown rate model {model!r}")
+        self.model = model
+        self.max_assignments = max_assignments
+
+    def place(
+        self,
+        app: Application,
+        cluster: ClusterState,
+        profile: Optional[NetworkProfile] = None,
+    ) -> Placement:
+        if profile is None:
+            raise PlacementError("the brute-force placer needs a network profile")
+        self.check_feasible(app, cluster)
+        tasks = app.task_names
+        machines = cluster.machine_names()
+        total = len(machines) ** len(tasks)
+        if total > self.max_assignments:
+            raise PlacementError(
+                f"brute force would enumerate {total} assignments "
+                f"(limit {self.max_assignments})"
+            )
+
+        best_assignment: Optional[Dict[str, str]] = None
+        best_time = math.inf
+        available = {m: cluster.available_cpu(m) for m in machines}
+        for combo in itertools.product(machines, repeat=len(tasks)):
+            usage: Dict[str, float] = {}
+            feasible = True
+            for task, machine in zip(tasks, combo):
+                usage[machine] = usage.get(machine, 0.0) + app.cpu_demand(task)
+                if usage[machine] > available[machine] + _EPS:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            assignment = dict(zip(tasks, combo))
+            completion = estimate_completion_time(
+                assignment, app, profile, model=self.model
+            )
+            if completion < best_time - _EPS:
+                best_time = completion
+                best_assignment = assignment
+        if best_assignment is None:
+            raise PlacementError(
+                f"no CPU-feasible assignment exists for application {app.name!r}"
+            )
+        placement = Placement(app_name=app.name, assignments=best_assignment)
+        validate_placement(placement, app, cluster)
+        return placement

@@ -1,0 +1,92 @@
+"""Rate models used while placing tasks (Algorithm 1, line 13).
+
+When the greedy algorithm evaluates placing a transfer on machine pair
+``(m, n)``, it needs "the rate that the transfer from i to j would see if
+placed on m -> n", taking into account all other task pairs already placed
+on that path (pipe model) or all other connections out of ``m`` (hose
+model).
+
+The measured single-connection rate ``R`` for a path already includes any
+cross traffic ``c`` the measurement observed: ``R ≈ C / (c + 1)`` where
+``C`` is the bottleneck capacity (§3.2).  Adding ``k`` of our own
+connections therefore leaves each of them with ``C / (c + 1 + k)``, i.e.
+``R * (c + 1) / (c + 1 + k)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.network_profile import NetworkProfile
+from repro.errors import PlacementError
+
+
+@dataclass
+class ConnectionLoad:
+    """Bookkeeping of the connections placed so far in one placement round."""
+
+    per_path: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    per_source: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, src_machine: str, dst_machine: str) -> None:
+        """Record one more connection from ``src_machine`` to ``dst_machine``.
+
+        Intra-machine transfers use no network egress, so they are not
+        counted against either the path or the source hose.
+        """
+        if src_machine == dst_machine:
+            return
+        key = (src_machine, dst_machine)
+        self.per_path[key] = self.per_path.get(key, 0) + 1
+        self.per_source[src_machine] = self.per_source.get(src_machine, 0) + 1
+
+    def on_path(self, src_machine: str, dst_machine: str) -> int:
+        """Connections already placed on the ordered path."""
+        return self.per_path.get((src_machine, dst_machine), 0)
+
+    def out_of(self, src_machine: str) -> int:
+        """Connections already placed with ``src_machine`` as their source."""
+        return self.per_source.get(src_machine, 0)
+
+    def copy(self) -> "ConnectionLoad":
+        """An independent copy (used when evaluating hypothetical placements)."""
+        return ConnectionLoad(
+            per_path=dict(self.per_path), per_source=dict(self.per_source)
+        )
+
+
+def effective_rate(
+    profile: NetworkProfile,
+    src_machine: str,
+    dst_machine: str,
+    load: ConnectionLoad,
+    model: str = "hose",
+) -> float:
+    """Rate a *new* connection would get on ``src -> dst`` given placed load.
+
+    Args:
+        profile: the measured network profile.
+        src_machine, dst_machine: candidate machines.
+        load: connections placed so far during this placement round.
+        model: ``"hose"`` (share the source's egress) or ``"pipe"`` (share
+            the specific path).
+
+    Returns:
+        Estimated rate in bits/second.  Intra-machine placements return the
+        profile's intra-VM rate (essentially infinite).
+    """
+    if model not in ("hose", "pipe"):
+        raise PlacementError(f"unknown rate model {model!r}")
+    if src_machine == dst_machine:
+        return profile.intra_vm_rate_bps
+    single = profile.rate(src_machine, dst_machine)
+    cross = profile.cross(src_machine, dst_machine)
+    if model == "pipe":
+        existing = load.on_path(src_machine, dst_machine)
+    else:
+        existing = load.out_of(src_machine)
+    if math.isinf(single):
+        return single
+    return single * (cross + 1.0) / (cross + 1.0 + existing)

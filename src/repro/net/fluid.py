@@ -1,0 +1,402 @@
+"""Event-driven flow-level ("fluid") network simulator.
+
+This simulator stands in for the real EC2/Rackspace networks the paper
+measured and for the ns-2 simulations it used to validate the cross-traffic
+estimator.  Flows are fluid: at every instant the set of active flows shares
+the network according to max-min fairness (see :mod:`repro.net.fairness`),
+which matches the paper's working assumption that TCP splits a bottleneck
+equally among backlogged connections.
+
+Between consecutive events (a flow starting, a finite flow completing, an
+unbounded flow being switched off) every flow's rate is constant, so the
+simulation advances event-to-event, recording a piece-wise constant rate
+timeline for every flow.  Those timelines power:
+
+* completion-time computation for placed applications (§6),
+* the 10 ms throughput samples used by the cross-traffic estimator (§3.2),
+* bulk-TCP ("netperf") throughput measurements (§2.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.net.fairness import FlowDemand, max_min_allocation
+from repro.net.flows import Flow, FlowState
+from repro.net.hose import HoseModel
+from repro.net.topology import Topology
+from repro.units import BITS_PER_BYTE
+
+# Numerical tolerances: bytes below _BYTE_EPS are "done"; time differences
+# below _TIME_EPS are simultaneous.
+_BYTE_EPS = 1e-6
+_TIME_EPS = 1e-12
+
+
+@dataclass
+class RateSegment:
+    """A constant-rate interval of a flow's lifetime."""
+
+    start: float
+    end: float
+    rate_bps: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bytes_moved(self) -> float:
+        if math.isinf(self.rate_bps):
+            return math.inf
+        return self.rate_bps * self.duration / BITS_PER_BYTE
+
+
+class RateTimeline:
+    """Piece-wise constant history of a single flow's rate."""
+
+    def __init__(self) -> None:
+        self.segments: List[RateSegment] = []
+
+    def append(self, start: float, end: float, rate_bps: float) -> None:
+        """Record one constant-rate interval (zero-length intervals ignored)."""
+        if end - start <= _TIME_EPS:
+            return
+        # Merge with the previous segment if the rate did not change.
+        if (
+            self.segments
+            and abs(self.segments[-1].end - start) <= _TIME_EPS
+            and self.segments[-1].rate_bps == rate_bps
+        ):
+            self.segments[-1].end = end
+            return
+        self.segments.append(RateSegment(start, end, rate_bps))
+
+    @property
+    def start_time(self) -> Optional[float]:
+        return self.segments[0].start if self.segments else None
+
+    @property
+    def end_time(self) -> Optional[float]:
+        return self.segments[-1].end if self.segments else None
+
+    def rate_at(self, t: float) -> float:
+        """Rate at time ``t`` (0 outside the flow's active intervals)."""
+        for segment in self.segments:
+            if segment.start <= t < segment.end:
+                return segment.rate_bps
+        return 0.0
+
+    def average_rate(self, start: float, end: float) -> float:
+        """Time-average rate over ``[start, end]`` (gaps count as zero)."""
+        if end <= start:
+            raise SimulationError("average_rate needs end > start")
+        moved_bits = 0.0
+        for segment in self.segments:
+            lo = max(start, segment.start)
+            hi = min(end, segment.end)
+            if hi > lo:
+                moved_bits += segment.rate_bps * (hi - lo)
+        return moved_bits / (end - start)
+
+    def sample(self, interval: float, start: Optional[float] = None,
+               end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Average-rate samples of width ``interval`` (e.g. 10 ms probes).
+
+        Returns a list of ``(sample_end_time, average_rate)`` tuples covering
+        ``[start, end)``.  Defaults to the flow's own active span.
+        """
+        if interval <= 0:
+            raise SimulationError("sample interval must be positive")
+        if not self.segments:
+            return []
+        lo = self.start_time if start is None else start
+        hi = self.end_time if end is None else end
+        samples: List[Tuple[float, float]] = []
+        t = lo
+        while t + interval <= hi + _TIME_EPS:
+            samples.append((t + interval, self.average_rate(t, t + interval)))
+            t += interval
+        return samples
+
+    def total_bytes(self) -> float:
+        """Total bytes moved over the flow's recorded lifetime."""
+        return sum(segment.bytes_moved for segment in self.segments)
+
+
+@dataclass
+class FluidResult:
+    """Outcome of a fluid simulation run."""
+
+    completion_times: Dict[str, float]
+    timelines: Dict[str, RateTimeline]
+    remaining_bytes: Dict[str, float]
+    end_time: float
+    states: Dict[str, FlowState]
+
+    def completion_time(self, flow_id: str) -> float:
+        """Absolute completion time of a finite flow.
+
+        Raises:
+            SimulationError: if the flow did not complete during the run.
+        """
+        if flow_id not in self.completion_times:
+            raise SimulationError(f"flow {flow_id!r} did not complete")
+        return self.completion_times[flow_id]
+
+    def makespan(self, flow_ids: Optional[Iterable[str]] = None) -> float:
+        """Latest completion time among the given flows (default: all)."""
+        ids = list(flow_ids) if flow_ids is not None else list(self.completion_times)
+        if not ids:
+            return 0.0
+        return max(self.completion_time(fid) for fid in ids)
+
+
+class FluidSimulation:
+    """Max-min fair, event-driven flow-level simulator.
+
+    Args:
+        topology: the network to simulate on.
+        hose: optional per-node egress caps (the provider's hose model).
+        capacity_overrides: per-link capacity replacements, used by the cloud
+            providers to model spatially varying or drifting paths.
+        extra_capacities: additional *virtual* links (e.g. per-VM hose links
+            when several VMs share a physical host); flows traverse them via
+            the ``extra_links`` argument of :meth:`add_flow`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        hose: Optional[HoseModel] = None,
+        capacity_overrides: Optional[Mapping[str, float]] = None,
+        extra_capacities: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.topology = topology
+        self.hose = hose
+        self._capacities: Dict[str, float] = dict(topology.capacities())
+        if capacity_overrides:
+            for link_id, cap in capacity_overrides.items():
+                if link_id not in self._capacities:
+                    raise SimulationError(
+                        f"capacity override for unknown link {link_id!r}"
+                    )
+                if cap <= 0:
+                    raise SimulationError(
+                        f"capacity override for {link_id!r} must be positive"
+                    )
+                self._capacities[link_id] = cap
+        if hose is not None:
+            self._capacities.update(
+                hose.link_capacities(topology.graph.nodes())
+            )
+        if extra_capacities:
+            for link_id, cap in extra_capacities.items():
+                if cap <= 0:
+                    raise SimulationError(
+                        f"extra capacity for {link_id!r} must be positive"
+                    )
+                self._capacities[link_id] = cap
+        self._flows: Dict[str, Flow] = {}
+        self._demands: Dict[str, FlowDemand] = {}
+
+    # ------------------------------------------------------------------ setup
+    @property
+    def capacities(self) -> Dict[str, float]:
+        """The (possibly overridden) link capacity map used for allocation."""
+        return dict(self._capacities)
+
+    def add_flow(self, flow: Flow, extra_links: Sequence[str] = ()) -> None:
+        """Register a flow before the run starts.
+
+        Args:
+            flow: the flow to add; ``flow.src``/``flow.dst`` are host names.
+            extra_links: additional (virtual) link ids the flow traverses,
+                which must have been declared via ``extra_capacities``.
+        """
+        if flow.flow_id in self._flows:
+            raise SimulationError(f"duplicate flow id {flow.flow_id!r}")
+        links = [link.link_id for link in self.topology.path_links(flow.src, flow.dst)]
+        if self.hose is not None:
+            links = self.hose.links_for_flow(flow.src, flow.dst) + links
+        for link_id in extra_links:
+            if link_id not in self._capacities:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r} uses undeclared extra link {link_id!r}"
+                )
+        links = list(extra_links) + links
+        self._flows[flow.flow_id] = flow
+        self._demands[flow.flow_id] = FlowDemand(
+            links=tuple(links), max_rate=flow.max_rate_bps
+        )
+
+    def add_flows(self, flows: Iterable[Flow]) -> None:
+        """Register several flows."""
+        for flow in flows:
+            self.add_flow(flow)
+
+    def flow(self, flow_id: str) -> Flow:
+        """Look up a registered flow."""
+        try:
+            return self._flows[flow_id]
+        except KeyError as exc:
+            raise SimulationError(f"unknown flow {flow_id!r}") from exc
+
+    # -------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> FluidResult:
+        """Run the simulation until all finite flows complete (or ``until``).
+
+        Unbounded flows stop at their ``end_time``.  If ``until`` is given,
+        the simulation stops there and the per-flow ``remaining_bytes`` in
+        the result reflect partially transferred finite flows.
+        """
+        flows = self._flows
+        timelines: Dict[str, RateTimeline] = {fid: RateTimeline() for fid in flows}
+        completion: Dict[str, float] = {}
+        states: Dict[str, FlowState] = {fid: FlowState.PENDING for fid in flows}
+        remaining: Dict[str, float] = {
+            fid: flow.remaining_or_inf() for fid, flow in flows.items()
+        }
+
+        pending = sorted(flows.values(), key=lambda f: (f.start_time, f.flow_id))
+        pending_idx = 0
+        active: Dict[str, Flow] = {}
+
+        # Zero-byte flows complete instantly at their start time.
+        now = min((f.start_time for f in flows.values()), default=0.0)
+        end_time = now
+
+        while True:
+            # Activate flows whose start time has arrived.
+            while pending_idx < len(pending) and pending[pending_idx].start_time <= now + _TIME_EPS:
+                flow = pending[pending_idx]
+                pending_idx += 1
+                if not flow.is_unbounded and remaining[flow.flow_id] <= _BYTE_EPS:
+                    completion[flow.flow_id] = flow.start_time
+                    states[flow.flow_id] = FlowState.COMPLETED
+                    continue
+                if flow.is_unbounded and flow.end_time is not None and flow.end_time <= flow.start_time + _TIME_EPS:
+                    states[flow.flow_id] = FlowState.STOPPED
+                    continue
+                active[flow.flow_id] = flow
+                states[flow.flow_id] = FlowState.ACTIVE
+
+            if not active and pending_idx >= len(pending):
+                end_time = now
+                break
+            if until is not None and now >= until - _TIME_EPS:
+                end_time = until
+                break
+
+            # Allocate rates for the active flows.
+            rates = max_min_allocation(
+                {fid: self._demands[fid] for fid in active}, self._capacities
+            )
+
+            # Time of the next event.
+            next_time = math.inf
+            if pending_idx < len(pending):
+                next_time = min(next_time, pending[pending_idx].start_time)
+            for fid, flow in active.items():
+                rate = rates[fid]
+                if flow.is_unbounded:
+                    if flow.end_time is not None:
+                        next_time = min(next_time, flow.end_time)
+                else:
+                    if math.isinf(rate):
+                        next_time = now  # completes immediately
+                    elif rate > 0:
+                        finish = now + remaining[fid] * BITS_PER_BYTE / rate
+                        next_time = min(next_time, finish)
+            if until is not None:
+                next_time = min(next_time, until)
+
+            if math.isinf(next_time):
+                raise SimulationError(
+                    "simulation stalled: active flows receive zero rate and "
+                    "no further events are scheduled"
+                )
+            next_time = max(next_time, now)
+
+            # Advance to next_time, recording rate segments and draining bytes.
+            dt = next_time - now
+            for fid, flow in list(active.items()):
+                rate = rates[fid]
+                timelines[fid].append(now, next_time, rate)
+                if not flow.is_unbounded:
+                    if math.isinf(rate):
+                        remaining[fid] = 0.0
+                    else:
+                        remaining[fid] = max(
+                            0.0, remaining[fid] - rate * dt / BITS_PER_BYTE
+                        )
+
+            now = next_time
+            end_time = now
+
+            # Retire flows that completed or were switched off at ``now``.
+            for fid, flow in list(active.items()):
+                if not flow.is_unbounded and remaining[fid] <= _BYTE_EPS:
+                    completion[fid] = now
+                    states[fid] = FlowState.COMPLETED
+                    del active[fid]
+                elif flow.is_unbounded and flow.end_time is not None and flow.end_time <= now + _TIME_EPS:
+                    states[fid] = FlowState.STOPPED
+                    del active[fid]
+
+            if until is not None and now >= until - _TIME_EPS:
+                end_time = until
+                break
+
+        # Flows still pending or active when the run stops keep their state.
+        for fid in flows:
+            if states[fid] is FlowState.ACTIVE:
+                states[fid] = FlowState.STOPPED
+        return FluidResult(
+            completion_times=completion,
+            timelines=timelines,
+            remaining_bytes={
+                fid: (0.0 if math.isinf(rem) else rem) for fid, rem in remaining.items()
+            },
+            end_time=end_time,
+            states=states,
+        )
+
+
+def measure_bulk_throughput(
+    topology: Topology,
+    src: str,
+    dst: str,
+    duration: float = 10.0,
+    hose: Optional[HoseModel] = None,
+    capacity_overrides: Optional[Mapping[str, float]] = None,
+    background_flows: Optional[Sequence[Flow]] = None,
+) -> float:
+    """Throughput (bits/s) of one bulk TCP connection, netperf-style (§2.2).
+
+    A single backlogged flow runs from ``src`` to ``dst`` for ``duration``
+    seconds while any ``background_flows`` share the network; the returned
+    value is the probe's average rate over the measurement window.
+    """
+    if duration <= 0:
+        raise SimulationError("duration must be positive")
+    sim = FluidSimulation(topology, hose=hose, capacity_overrides=capacity_overrides)
+    probe = Flow(
+        flow_id="__netperf__",
+        src=src,
+        dst=dst,
+        size_bytes=None,
+        start_time=0.0,
+        end_time=duration,
+        tag="netperf",
+    )
+    sim.add_flow(probe)
+    if background_flows:
+        sim.add_flows(background_flows)
+    result = sim.run(until=duration)
+    return result.timelines["__netperf__"].average_rate(0.0, duration)

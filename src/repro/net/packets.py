@@ -1,0 +1,298 @@
+"""Burst-level packet-train transmission model (paper §3.1).
+
+Choreo estimates pairwise TCP throughput by sending *packet trains*: ``K``
+bursts of ``B`` back-to-back ``P``-byte UDP packets, with a gap of ``delta``
+between bursts.  The receiver records the kernel timestamps of the first and
+last packet of each burst plus the number of packets delivered.
+
+This module is the network side of that experiment.  Because we do not have
+real NICs, the burst is pushed through a small analytical model of the path:
+
+* the *unlimited* path rate (what a burst would see absent any rate
+  limiting) — in practice the physical bottleneck divided among the cross
+  traffic present during the burst;
+* an optional provider rate limiter modelled as a :class:`TokenBucket`.
+  EC2-style enforcement uses a shallow bucket (the burst is served at the
+  hose rate almost immediately); Rackspace-style enforcement uses a deep
+  bucket, so short bursts ride the line rate and over-estimate the
+  sustainable throughput — which is exactly why the paper needs 2000-packet
+  bursts on Rackspace (Figure 6b);
+* timestamp jitter (kernel timestamping and VM scheduling noise) and random
+  packet loss.
+
+The measurement-side estimator that consumes these observations lives in
+:mod:`repro.core.measurement.packet_train`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass
+class TokenBucket:
+    """A classic token bucket rate limiter.
+
+    Attributes:
+        rate_bps: long-term token refill rate (the enforced rate).
+        depth_bytes: bucket depth; bursts shorter than this pass at line
+            rate before the limiter bites.
+        tokens_bytes: current fill level (defaults to a full bucket).
+    """
+
+    rate_bps: float
+    depth_bytes: float
+    tokens_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise MeasurementError("token bucket rate must be positive")
+        if self.depth_bytes < 0:
+            raise MeasurementError("token bucket depth must be >= 0")
+        if self.tokens_bytes is None:
+            self.tokens_bytes = self.depth_bytes
+        self.tokens_bytes = min(self.tokens_bytes, self.depth_bytes)
+
+    def refill(self, elapsed_s: float) -> None:
+        """Add ``elapsed_s`` seconds worth of tokens (capped at the depth)."""
+        if elapsed_s < 0:
+            raise MeasurementError("cannot refill for negative time")
+        self.tokens_bytes = min(
+            self.depth_bytes,
+            self.tokens_bytes + self.rate_bps * elapsed_s / BITS_PER_BYTE,
+        )
+
+    def drain_time(self, burst_bytes: float, fast_rate_bps: float) -> float:
+        """Seconds to push ``burst_bytes`` through the limiter, consuming tokens.
+
+        While tokens remain the burst is served at ``fast_rate_bps`` (tokens
+        drain at the difference between service and refill); once the bucket
+        empties the remainder is served at the refill rate.  The bucket's
+        fill level is updated in place.
+        """
+        if burst_bytes <= 0:
+            return 0.0
+        fast_rate = max(fast_rate_bps, self.rate_bps)
+        if fast_rate <= self.rate_bps or self.depth_bytes == 0:
+            # The limiter is never the binding constraint beyond its rate.
+            self.tokens_bytes = min(self.depth_bytes, self.tokens_bytes)
+            return burst_bytes * BITS_PER_BYTE / self.rate_bps
+
+        # Phase 1: tokens available, serve at the fast rate.
+        token_drain_rate = (fast_rate - self.rate_bps) / BITS_PER_BYTE  # bytes/s
+        time_to_empty = self.tokens_bytes / token_drain_rate if token_drain_rate > 0 else math.inf
+        fast_phase_bytes = fast_rate * time_to_empty / BITS_PER_BYTE
+
+        if burst_bytes <= fast_phase_bytes:
+            duration = burst_bytes * BITS_PER_BYTE / fast_rate
+            self.tokens_bytes -= token_drain_rate * duration
+            self.tokens_bytes = max(0.0, self.tokens_bytes)
+            return duration
+
+        # Phase 2: bucket empty, serve the remainder at the refill rate.
+        remainder = burst_bytes - fast_phase_bytes
+        self.tokens_bytes = 0.0
+        return time_to_empty + remainder * BITS_PER_BYTE / self.rate_bps
+
+
+@dataclass
+class PathTransmissionModel:
+    """Everything the burst model needs to know about one VM-to-VM path.
+
+    Attributes:
+        line_rate_bps: rate at which the sender's NIC emits packets.
+        unlimited_rate_bps: rate the path would deliver absent provider rate
+            limiting (physical bottleneck share given current cross traffic).
+        limiter: optional provider rate limiter (hose enforcement).
+        base_delay_s: one-way propagation plus forwarding delay.
+        jitter_std_s: standard deviation of the timestamp noise added to the
+            first/last packet receive times of each burst.
+        loss_rate: independent per-packet loss probability.
+    """
+
+    line_rate_bps: float
+    unlimited_rate_bps: float
+    limiter: Optional[TokenBucket] = None
+    base_delay_s: float = 100e-6
+    jitter_std_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.line_rate_bps <= 0 or self.unlimited_rate_bps <= 0:
+            raise MeasurementError("line and unlimited rates must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise MeasurementError("loss_rate must be in [0, 1)")
+        if self.jitter_std_s < 0 or self.base_delay_s < 0:
+            raise MeasurementError("delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class PacketTrainSpec:
+    """Parameters of a packet train (paper §3.1 and §4.1).
+
+    Defaults follow the paper: 1472-byte packets, 10 bursts, 1 ms between
+    bursts.  The burst length is the knob Figure 6 sweeps (200 packets works
+    on EC2, 2000 on Rackspace).
+    """
+
+    packet_size_bytes: int = 1472
+    n_bursts: int = 10
+    burst_length: int = 200
+    inter_burst_gap_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.packet_size_bytes <= 0:
+            raise MeasurementError("packet size must be positive")
+        if self.n_bursts < 1 or self.burst_length < 2:
+            raise MeasurementError("need >= 1 burst of >= 2 packets")
+        if self.inter_burst_gap_s < 0:
+            raise MeasurementError("inter-burst gap must be >= 0")
+
+    @property
+    def burst_bytes(self) -> float:
+        """Bytes in one burst."""
+        return float(self.packet_size_bytes * self.burst_length)
+
+    @property
+    def total_packets(self) -> int:
+        """Packets in the whole train."""
+        return self.n_bursts * self.burst_length
+
+
+@dataclass(frozen=True)
+class BurstObservation:
+    """What the receiver records for one burst.
+
+    ``first_index`` / ``last_index`` are the sequence numbers (within the
+    burst) of the first and last packets actually received; the estimator
+    uses them to correct the time span when edge packets were lost, as
+    described in §3.1.
+    """
+
+    n_sent: int
+    n_received: int
+    first_rx_time: float
+    last_rx_time: float
+    first_index: int
+    last_index: int
+
+    @property
+    def span(self) -> float:
+        """Receive-time difference between the last and first packets."""
+        return self.last_rx_time - self.first_rx_time
+
+
+@dataclass
+class TrainObservation:
+    """All burst observations of one packet train on one path."""
+
+    spec: PacketTrainSpec
+    bursts: List[BurstObservation] = field(default_factory=list)
+    send_duration_s: float = 0.0
+    rtt_s: float = 1e-3
+
+    @property
+    def packets_sent(self) -> int:
+        return sum(burst.n_sent for burst in self.bursts)
+
+    @property
+    def packets_received(self) -> int:
+        return sum(burst.n_received for burst in self.bursts)
+
+    @property
+    def loss_rate(self) -> float:
+        """Overall fraction of train packets that were lost."""
+        sent = self.packets_sent
+        if sent == 0:
+            return 0.0
+        return 1.0 - self.packets_received / sent
+
+
+def send_packet_train(
+    model: PathTransmissionModel,
+    spec: PacketTrainSpec,
+    rng: Optional[np.random.Generator] = None,
+    rtt_s: float = 1e-3,
+) -> TrainObservation:
+    """Simulate sending one packet train over a path.
+
+    Returns the per-burst receiver observations that
+    :func:`repro.core.measurement.packet_train.estimate_throughput` consumes.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    observation = TrainObservation(spec=spec, rtt_s=rtt_s)
+
+    fast_rate = min(model.line_rate_bps, model.unlimited_rate_bps)
+    send_clock = 0.0
+    limiter = model.limiter
+
+    for _ in range(spec.n_bursts):
+        burst_bytes = spec.burst_bytes
+        packet_bits = spec.packet_size_bytes * BITS_PER_BYTE
+
+        # Time for the whole burst to drain through the path.
+        if limiter is not None:
+            drain = limiter.drain_time(burst_bytes, fast_rate)
+        else:
+            drain = burst_bytes * BITS_PER_BYTE / fast_rate
+
+        # The first packet arrives after its own serialisation at the rate
+        # it was served with (fast if tokens were available).
+        initial_rate = fast_rate
+        if limiter is not None and limiter.depth_bytes < spec.packet_size_bytes:
+            initial_rate = min(fast_rate, limiter.rate_bps)
+        first_rx = send_clock + model.base_delay_s + packet_bits / initial_rate
+        last_rx = send_clock + model.base_delay_s + drain
+
+        # Packet loss: drop each packet independently.
+        lost = int(rng.binomial(spec.burst_length, model.loss_rate)) if model.loss_rate > 0 else 0
+        n_received = spec.burst_length - lost
+        first_index, last_index = 0, spec.burst_length - 1
+        if lost > 0 and n_received > 0:
+            # Choose which positions were lost to know whether the edges moved.
+            lost_positions = set(
+                rng.choice(spec.burst_length, size=lost, replace=False).tolist()
+            )
+            received_positions = [
+                i for i in range(spec.burst_length) if i not in lost_positions
+            ]
+            first_index, last_index = received_positions[0], received_positions[-1]
+            per_packet = (last_rx - first_rx) / max(spec.burst_length - 1, 1)
+            first_rx += per_packet * first_index
+            last_rx -= per_packet * (spec.burst_length - 1 - last_index)
+
+        # Kernel timestamping / VM scheduling jitter.
+        if model.jitter_std_s > 0:
+            first_rx += abs(float(rng.normal(0.0, model.jitter_std_s))) * 0.1
+            last_rx += abs(float(rng.normal(0.0, model.jitter_std_s)))
+        if last_rx <= first_rx:
+            last_rx = first_rx + packet_bits / fast_rate
+
+        if n_received > 0:
+            observation.bursts.append(
+                BurstObservation(
+                    n_sent=spec.burst_length,
+                    n_received=n_received,
+                    first_rx_time=first_rx,
+                    last_rx_time=last_rx,
+                    first_index=first_index,
+                    last_index=last_index,
+                )
+            )
+
+        # Advance the sender clock: the burst is emitted at line rate, then
+        # the inter-burst gap elapses (during which the limiter refills).
+        emit_time = burst_bytes * BITS_PER_BYTE / model.line_rate_bps
+        send_clock += emit_time + spec.inter_burst_gap_s
+        if limiter is not None:
+            limiter.refill(emit_time + spec.inter_burst_gap_s)
+
+    observation.send_duration_s = send_clock
+    return observation

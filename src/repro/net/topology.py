@@ -1,0 +1,393 @@
+"""Multi-rooted tree datacenter topologies (paper §3.3.1, Figure 5).
+
+The paper assumes datacenter networks are multi-rooted trees: virtual
+machines sit on physical machines, which connect to top-of-rack (ToR)
+switches, which connect to aggregation switches, which connect to core
+switches.  Path hop counts in such a topology fall in ``{1, 2, 4, 6, 8}``
+(Figure 8): one "hop" for two VMs on the same physical machine, two for the
+same rack, four within an aggregation subtree, six through the core, and
+eight when an extra aggregation tier is present.
+
+:class:`Topology` is a thin, convenient wrapper around a ``networkx`` graph
+that knows about directed capacities, racks, subtrees, and intra-host
+loopback links.  Specialised builders create the topologies the paper uses:
+
+* :func:`build_multi_rooted_tree` — the general datacenter of Figure 5;
+* :func:`build_dumbbell` — Figure 3(a), ten sender/receiver pairs sharing one
+  1 Gbit/s link;
+* :func:`build_two_rack_cloud` — Figure 3(b), two racks of ten nodes whose
+  ToR switches connect through a 10 Gbit/s aggregation switch.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import RoutingError, TopologyError
+from repro.net.links import (
+    Link,
+    LinkKind,
+    directed_link_id,
+    loopback_link_id,
+)
+from repro.units import GBITPS
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the datacenter tree."""
+
+    HOST = "host"
+    TOR = "tor"
+    AGG = "agg"
+    CORE = "core"
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Parameters for :func:`build_multi_rooted_tree`.
+
+    Attributes:
+        hosts_per_rack: physical machines attached to each ToR switch.
+        racks_per_pod: ToR switches below each aggregation switch.
+        pods: number of aggregation subtrees ("pods").
+        num_cores: number of core switches; every aggregation switch links to
+            all of them (the "multi-rooted" part).
+        host_link_bps: capacity of host <-> ToR links.
+        tor_agg_link_bps: capacity of ToR <-> aggregation links.
+        agg_core_link_bps: capacity of aggregation <-> core links.
+        intra_host_bps: capacity of the intra-host loopback path (the
+            near-4 Gbit/s colocated-VM paths seen on EC2).
+        extra_agg_layer: insert a second aggregation tier between the ToRs
+            and the pod aggregation switch, producing 8-hop core paths as
+            observed on EC2.
+    """
+
+    hosts_per_rack: int = 4
+    racks_per_pod: int = 2
+    pods: int = 2
+    num_cores: int = 2
+    host_link_bps: float = 1 * GBITPS
+    tor_agg_link_bps: float = 10 * GBITPS
+    agg_core_link_bps: float = 10 * GBITPS
+    intra_host_bps: float = 4 * GBITPS
+    extra_agg_layer: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("hosts_per_rack", "racks_per_pod", "pods", "num_cores"):
+            if getattr(self, name) < 1:
+                raise TopologyError(f"TreeSpec.{name} must be >= 1")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of physical machines in the tree."""
+        return self.hosts_per_rack * self.racks_per_pod * self.pods
+
+
+class Topology:
+    """An undirected capacitated graph with datacenter-tree metadata.
+
+    The graph itself is undirected (cables), but every edge generates two
+    directed :class:`~repro.net.links.Link` objects.  Hosts additionally get
+    a loopback link carrying intra-host (colocated VM) traffic.
+    """
+
+    def __init__(self, name: str = "topology", intra_host_bps: float = 4 * GBITPS):
+        self.name = name
+        self.graph = nx.Graph()
+        self._links: Dict[str, Link] = {}
+        self._intra_host_bps = intra_host_bps
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, name: str, kind: NodeKind, level: int = 0) -> None:
+        """Add a node of the given kind.
+
+        Raises:
+            TopologyError: if a node with the same name already exists.
+        """
+        if name in self.graph:
+            raise TopologyError(f"duplicate node {name!r}")
+        self.graph.add_node(name, kind=kind, level=level)
+        if kind is NodeKind.HOST:
+            link = Link(
+                link_id=loopback_link_id(name),
+                src=name,
+                dst=name,
+                capacity_bps=self._intra_host_bps,
+                kind=LinkKind.LOOPBACK,
+            )
+            self._links[link.link_id] = link
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        capacity_bps: float,
+        kind: LinkKind = LinkKind.GENERIC,
+    ) -> None:
+        """Add a full-duplex link between ``a`` and ``b``.
+
+        Two directed :class:`Link` objects (one per direction) are created
+        with the same capacity.
+        """
+        for node in (a, b):
+            if node not in self.graph:
+                raise TopologyError(f"unknown node {node!r}")
+        if self.graph.has_edge(a, b):
+            raise TopologyError(f"duplicate link {a!r} <-> {b!r}")
+        self.graph.add_edge(a, b)
+        for src, dst in ((a, b), (b, a)):
+            link = Link(
+                link_id=directed_link_id(src, dst),
+                src=src,
+                dst=dst,
+                capacity_bps=capacity_bps,
+                kind=kind,
+            )
+            self._links[link.link_id] = link
+        self._path_cache.clear()
+
+    # ------------------------------------------------------------ inspection
+    def node_kind(self, name: str) -> NodeKind:
+        """Return the :class:`NodeKind` of ``name``."""
+        try:
+            return self.graph.nodes[name]["kind"]
+        except KeyError as exc:
+            raise TopologyError(f"unknown node {name!r}") from exc
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[str]:
+        """All node names of the given kind, sorted for determinism."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True) if data["kind"] is kind
+        )
+
+    def hosts(self) -> List[str]:
+        """All physical machine names."""
+        return self.nodes_of_kind(NodeKind.HOST)
+
+    def links(self) -> List[Link]:
+        """All directed links (physical, loopback) in the topology."""
+        return list(self._links.values())
+
+    def link(self, link_id: str) -> Link:
+        """Look up a directed link by identifier."""
+        try:
+            return self._links[link_id]
+        except KeyError as exc:
+            raise TopologyError(f"unknown link {link_id!r}") from exc
+
+    def has_link(self, link_id: str) -> bool:
+        """True if ``link_id`` names a link in this topology."""
+        return link_id in self._links
+
+    def capacities(self) -> Dict[str, float]:
+        """Mapping of link id to capacity for every directed link."""
+        return {lid: link.capacity_bps for lid, link in self._links.items()}
+
+    # -------------------------------------------------------------- hierarchy
+    def neighbors_of_kind(self, name: str, kind: NodeKind) -> List[str]:
+        """Neighbours of ``name`` having the given kind."""
+        return sorted(
+            n for n in self.graph.neighbors(name) if self.node_kind(n) is kind
+        )
+
+    def rack_of(self, host: str) -> Optional[str]:
+        """The ToR switch a host is attached to, or None if it has none."""
+        if self.node_kind(host) is not NodeKind.HOST:
+            raise TopologyError(f"{host!r} is not a host")
+        tors = self.neighbors_of_kind(host, NodeKind.TOR)
+        return tors[0] if tors else None
+
+    def hosts_in_rack(self, tor: str) -> List[str]:
+        """Hosts attached to a ToR switch."""
+        if self.node_kind(tor) is not NodeKind.TOR:
+            raise TopologyError(f"{tor!r} is not a ToR switch")
+        return self.neighbors_of_kind(tor, NodeKind.HOST)
+
+    def same_rack(self, host_a: str, host_b: str) -> bool:
+        """True if both hosts share a ToR switch (and are distinct machines)."""
+        rack_a, rack_b = self.rack_of(host_a), self.rack_of(host_b)
+        return rack_a is not None and rack_a == rack_b
+
+    def subtree_of(self, host: str) -> Optional[str]:
+        """The pod aggregation switch above the host's rack, if any."""
+        tor = self.rack_of(host)
+        if tor is None:
+            return None
+        frontier = [tor]
+        seen = set(frontier)
+        # Walk upward through any intermediate aggregation layers until we
+        # reach the node directly below the core.
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for neigh in sorted(self.graph.neighbors(node)):
+                    if neigh in seen:
+                        continue
+                    kind = self.node_kind(neigh)
+                    if kind is NodeKind.AGG:
+                        if self.neighbors_of_kind(neigh, NodeKind.CORE):
+                            return neigh
+                        nxt.append(neigh)
+                        seen.add(neigh)
+            frontier = nxt
+        return None
+
+    def same_subtree(self, host_a: str, host_b: str) -> bool:
+        """True if both hosts sit under the same pod aggregation switch."""
+        sub_a, sub_b = self.subtree_of(host_a), self.subtree_of(host_b)
+        return sub_a is not None and sub_a == sub_b
+
+    # ----------------------------------------------------------------- paths
+    def node_path(self, src: str, dst: str) -> List[str]:
+        """Shortest node path from ``src`` to ``dst`` (inclusive).
+
+        When several shortest paths exist (multi-rooted trees), the choice is
+        made by a deterministic hash of the endpoint pair, mimicking ECMP:
+        the same pair always uses the same path, different pairs spread over
+        the available cores.
+        """
+        if src == dst:
+            return [src]
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        for node in (src, dst):
+            if node not in self.graph:
+                raise TopologyError(f"unknown node {node!r}")
+        try:
+            paths = sorted(nx.all_shortest_paths(self.graph, src, dst))
+        except nx.NetworkXNoPath as exc:
+            raise RoutingError(f"no path between {src!r} and {dst!r}") from exc
+        digest = hashlib.sha256(f"{src}|{dst}".encode()).digest()
+        choice = paths[int.from_bytes(digest[:4], "big") % len(paths)]
+        self._path_cache[key] = choice
+        return choice
+
+    def path_links(self, src: str, dst: str) -> List[Link]:
+        """Directed links traversed from ``src`` to ``dst``.
+
+        Intra-host traffic (``src == dst``) traverses only the host's
+        loopback link.
+        """
+        if src == dst:
+            if self.node_kind(src) is not NodeKind.HOST:
+                raise RoutingError(f"loopback path requires a host, got {src!r}")
+            return [self.link(loopback_link_id(src))]
+        nodes = self.node_path(src, dst)
+        return [
+            self.link(directed_link_id(a, b)) for a, b in zip(nodes, nodes[1:])
+        ]
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Hop count between two hosts, using the paper's convention.
+
+        Two VMs on the same physical machine are "one hop" apart; otherwise
+        the hop count is the number of links on the switched path (2 for the
+        same rack, 4 within a pod, 6 via the core, 8 with a second
+        aggregation tier).
+        """
+        if src == dst:
+            return 1
+        return len(self.node_path(src, dst)) - 1
+
+    def host_pairs(self) -> List[Tuple[str, str]]:
+        """All ordered pairs of distinct hosts."""
+        hosts = self.hosts()
+        return [(a, b) for a, b in itertools.permutations(hosts, 2)]
+
+
+# --------------------------------------------------------------------------
+# Builders
+# --------------------------------------------------------------------------
+def build_multi_rooted_tree(spec: TreeSpec = TreeSpec(), name: str = "dc") -> Topology:
+    """Build the multi-rooted tree of Figure 5 from a :class:`TreeSpec`."""
+    topo = Topology(name=name, intra_host_bps=spec.intra_host_bps)
+    for c in range(spec.num_cores):
+        topo.add_node(f"core{c}", NodeKind.CORE, level=4)
+    host_index = 0
+    for p in range(spec.pods):
+        agg = f"agg{p}"
+        topo.add_node(agg, NodeKind.AGG, level=3)
+        for c in range(spec.num_cores):
+            topo.add_link(agg, f"core{c}", spec.agg_core_link_bps, LinkKind.AGG_CORE)
+        for r in range(spec.racks_per_pod):
+            tor = f"tor{p}.{r}"
+            topo.add_node(tor, NodeKind.TOR, level=1)
+            if spec.extra_agg_layer:
+                mid = f"agg{p}.{r}"
+                topo.add_node(mid, NodeKind.AGG, level=2)
+                topo.add_link(tor, mid, spec.tor_agg_link_bps, LinkKind.TOR_AGG)
+                topo.add_link(mid, agg, spec.tor_agg_link_bps, LinkKind.AGG_AGG)
+            else:
+                topo.add_link(tor, agg, spec.tor_agg_link_bps, LinkKind.TOR_AGG)
+            for h in range(spec.hosts_per_rack):
+                host = f"host{host_index}"
+                host_index += 1
+                topo.add_node(host, NodeKind.HOST, level=0)
+                topo.add_link(host, tor, spec.host_link_bps, LinkKind.HOST_TOR)
+    return topo
+
+
+def build_dumbbell(
+    n_pairs: int = 10,
+    shared_link_bps: float = 1 * GBITPS,
+    access_link_bps: float = 10 * GBITPS,
+    name: str = "dumbbell",
+) -> Topology:
+    """Build the Figure 3(a) topology: ``n_pairs`` sender/receiver pairs.
+
+    Senders ``s1..sN`` attach to a left switch, receivers ``r1..rN`` to a
+    right switch, and a single ``shared_link_bps`` link connects the two
+    switches; every sender-to-receiver flow crosses that shared bottleneck.
+    """
+    if n_pairs < 1:
+        raise TopologyError("n_pairs must be >= 1")
+    topo = Topology(name=name)
+    topo.add_node("swL", NodeKind.TOR, level=1)
+    topo.add_node("swR", NodeKind.TOR, level=1)
+    topo.add_link("swL", "swR", shared_link_bps, LinkKind.GENERIC)
+    for i in range(1, n_pairs + 1):
+        sender, receiver = f"s{i}", f"r{i}"
+        topo.add_node(sender, NodeKind.HOST, level=0)
+        topo.add_node(receiver, NodeKind.HOST, level=0)
+        topo.add_link(sender, "swL", access_link_bps, LinkKind.HOST_TOR)
+        topo.add_link(receiver, "swR", access_link_bps, LinkKind.HOST_TOR)
+    return topo
+
+
+def build_two_rack_cloud(
+    n_pairs: int = 10,
+    host_link_bps: float = 1 * GBITPS,
+    agg_link_bps: float = 10 * GBITPS,
+    name: str = "cloud",
+) -> Topology:
+    """Build the Figure 3(b) topology.
+
+    Senders share a ToR switch, receivers share another ToR switch, and the
+    two ToRs connect through an aggregation switch ``A``.  Host links are
+    1 Gbit/s while ToR-to-aggregation links are 10 Gbit/s, so cross traffic
+    only bites once more than ten flows share a ToR uplink.
+    """
+    if n_pairs < 1:
+        raise TopologyError("n_pairs must be >= 1")
+    topo = Topology(name=name)
+    topo.add_node("torS", NodeKind.TOR, level=1)
+    topo.add_node("torR", NodeKind.TOR, level=1)
+    topo.add_node("A", NodeKind.AGG, level=2)
+    topo.add_link("torS", "A", agg_link_bps, LinkKind.TOR_AGG)
+    topo.add_link("torR", "A", agg_link_bps, LinkKind.TOR_AGG)
+    for i in range(1, n_pairs + 1):
+        sender, receiver = f"s{i}", f"r{i}"
+        topo.add_node(sender, NodeKind.HOST, level=0)
+        topo.add_node(receiver, NodeKind.HOST, level=0)
+        topo.add_link(sender, "torS", host_link_bps, LinkKind.HOST_TOR)
+        topo.add_link(receiver, "torR", host_link_bps, LinkKind.HOST_TOR)
+    return topo

@@ -1,0 +1,163 @@
+"""Sequential application arrival and placement (paper §2.4, §6.3).
+
+Applications arrive one by one, ordered by their observed start times, and
+are placed as they arrive.  When application ``k`` arrives:
+
+1. the flows of previously placed applications are simulated up to the
+   arrival time, so we know which applications are still running (they keep
+   their CPU) and which transfers are still in flight (they are the cross
+   traffic the new measurement sees);
+2. Choreo re-measures the network with that cross traffic present;
+3. the new application is placed on the machines' remaining CPU.
+
+Once every application has been placed, all flows are executed together and
+the per-application running time is the time from its arrival to the
+completion of its last transfer.  The §6.3 comparison sums these running
+times per placement algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.provider import CloudProvider, VMFlow
+from repro.core.measurement.orchestrator import MeasurementPlan, NetworkMeasurer
+from repro.core.network_profile import NetworkProfile
+from repro.core.placement.base import ClusterState, Placement, Placer
+from repro.errors import PlacementError, SimulationError
+from repro.runtime.executor import ApplicationRun, placement_to_flows, run_applications
+from repro.workloads.application import Application
+
+
+@dataclass
+class SequenceResult:
+    """Outcome of placing and running a sequence of applications."""
+
+    runs: Dict[str, ApplicationRun]
+    placements: Dict[str, Placement]
+    profiles: Dict[str, Optional[NetworkProfile]] = field(default_factory=dict)
+
+    @property
+    def total_running_time(self) -> float:
+        """Sum of per-application running times (the §6.3 comparison metric)."""
+        return sum(run.duration for run in self.runs.values())
+
+    def duration_of(self, app_name: str) -> float:
+        """Running time of one application."""
+        try:
+            return self.runs[app_name].duration
+        except KeyError as exc:
+            raise SimulationError(f"unknown application {app_name!r}") from exc
+
+
+class SequentialPlacementRunner:
+    """Places applications in arrival order and runs the whole sequence."""
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        cluster: ClusterState,
+        placer: Placer,
+        measurement: Optional[MeasurementPlan] = None,
+        measure_network: bool = True,
+    ):
+        """
+        Args:
+            provider: the cloud the applications run on.
+            cluster: the tenant's machines (VMs).
+            placer: the placement algorithm under test.
+            measurement: measurement plan; the default uses packet trains and
+                does *not* advance the provider clock, because the paper's
+                comparison charges the same measurement time to every scheme.
+            measure_network: set to False for network-oblivious baselines to
+                skip the (useless for them) measurement campaign entirely.
+        """
+        self.provider = provider
+        self.cluster = cluster
+        self.placer = placer
+        if measurement is None:
+            measurement = MeasurementPlan(advance_clock=False)
+        self.measurer = NetworkMeasurer(provider, plan=measurement)
+        self.measure_network = measure_network
+
+    # ------------------------------------------------------------------ run
+    def run(self, apps: Sequence[Application]) -> SequenceResult:
+        """Place the applications in start-time order and run them all."""
+        if not apps:
+            raise SimulationError("run needs at least one application")
+        ordered = sorted(apps, key=lambda a: (a.start_time, a.name))
+        names = {app.name for app in ordered}
+        if len(names) != len(ordered):
+            raise PlacementError("applications in a sequence must have unique names")
+
+        placements: Dict[str, Placement] = {}
+        profiles: Dict[str, Optional[NetworkProfile]] = {}
+        placed_flows: List[VMFlow] = []
+        app_cpu: Dict[str, Dict[str, float]] = {}
+        app_of_flow: Dict[str, str] = {}
+
+        for app in ordered:
+            arrival = app.start_time
+            background, finished_apps = self._state_at(placed_flows, app_of_flow, arrival)
+
+            cpu_used: Dict[str, float] = {}
+            for placed_name, usage in app_cpu.items():
+                if placed_name in finished_apps:
+                    continue
+                for machine, cores in usage.items():
+                    cpu_used[machine] = cpu_used.get(machine, 0.0) + cores
+            cluster_now = self.cluster.with_usage(cpu_used)
+
+            profile: Optional[NetworkProfile] = None
+            if self.measure_network:
+                profile = self.measurer.measure(
+                    cluster_now.machine_names(), background=background
+                )
+            profiles[app.name] = profile
+
+            placement = self.placer.place(app, cluster_now, profile)
+            placements[app.name] = placement
+            app_cpu[app.name] = placement.cpu_usage(app)
+
+            flows, _ = placement_to_flows(placement, app, start_time=arrival)
+            for flow in flows:
+                app_of_flow[flow.flow_id] = app.name
+            placed_flows.extend(flows)
+
+        runs = run_applications(
+            self.provider,
+            placements=placements,
+            apps=list(ordered),
+            start_times={app.name: app.start_time for app in ordered},
+        )
+        return SequenceResult(runs=runs, placements=placements, profiles=profiles)
+
+    # ------------------------------------------------------------- internals
+    def _state_at(
+        self,
+        placed_flows: Sequence[VMFlow],
+        app_of_flow: Dict[str, str],
+        time_s: float,
+    ) -> Tuple[List[VMFlow], set]:
+        """Which flows are still active at ``time_s``, and which apps finished.
+
+        Returns ``(active_flows, finished_app_names)``.  Flows that have not
+        started yet are neither active nor finished.
+        """
+        if not placed_flows:
+            return [], set()
+        partial = self.provider.simulate(placed_flows, until=time_s)
+        active: List[VMFlow] = []
+        remaining_by_app: Dict[str, int] = {}
+        for flow in placed_flows:
+            app_name = app_of_flow[flow.flow_id]
+            remaining_by_app.setdefault(app_name, 0)
+            completed = flow.flow_id in partial.completion_times
+            if completed:
+                continue
+            remaining_by_app[app_name] += 1
+            if flow.start_time <= time_s:
+                active.append(flow)
+        finished = {name for name, count in remaining_by_app.items() if count == 0}
+        return active, finished

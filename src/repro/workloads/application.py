@@ -1,0 +1,257 @@
+"""Tasks, traffic matrices, and applications (paper §2.1).
+
+Choreo models an application as a set of *tasks* plus a traffic matrix whose
+entry ``(i, j)`` is the number of bytes task ``i`` sends to task ``j`` over
+the application's lifetime.  The matrix records bytes rather than rates
+because bytes are independent of cross traffic (§2.1).  Tasks also carry a
+CPU demand (the evaluation models 0.5–4 cores per task on 4-core machines).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of an application.
+
+    Attributes:
+        name: identifier, unique within its application.
+        cpu_cores: CPU demand in cores (the paper uses 0.5–4).
+    """
+
+    name: str
+    cpu_cores: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("task name must be non-empty")
+        if self.cpu_cores <= 0:
+            raise WorkloadError(f"task {self.name!r}: cpu_cores must be positive")
+
+
+class TrafficMatrix:
+    """Sparse task-to-task byte counts.
+
+    The matrix is directional: ``matrix[i, j]`` is the number of bytes task
+    ``i`` sends to task ``j``.  Entries are accumulated, so profiling code
+    can simply :meth:`add` every observed flow record.
+    """
+
+    def __init__(self, entries: Optional[Mapping[Tuple[str, str], float]] = None):
+        self._entries: Dict[Tuple[str, str], float] = {}
+        if entries:
+            for (src, dst), value in entries.items():
+                self.add(src, dst, value)
+
+    # ------------------------------------------------------------- mutation
+    def add(self, src: str, dst: str, num_bytes: float) -> None:
+        """Accumulate ``num_bytes`` from ``src`` to ``dst``.
+
+        Self-transfers and non-positive volumes are ignored (they carry no
+        placement information).
+        """
+        if num_bytes < 0:
+            raise WorkloadError("traffic matrix entries must be >= 0")
+        if src == dst or num_bytes == 0:
+            return
+        key = (src, dst)
+        self._entries[key] = self._entries.get(key, 0.0) + float(num_bytes)
+
+    def merge(self, other: "TrafficMatrix") -> None:
+        """Accumulate every entry of ``other`` into this matrix."""
+        for (src, dst), value in other.items():
+            self.add(src, dst, value)
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A new matrix with every entry multiplied by ``factor``."""
+        if factor < 0:
+            raise WorkloadError("scale factor must be >= 0")
+        return TrafficMatrix(
+            {pair: value * factor for pair, value in self._entries.items()}
+        )
+
+    # ------------------------------------------------------------ inspection
+    def get(self, src: str, dst: str) -> float:
+        """Bytes sent from ``src`` to ``dst`` (0 when never observed)."""
+        return self._entries.get((src, dst), 0.0)
+
+    def items(self) -> List[Tuple[Tuple[str, str], float]]:
+        """All ``((src, dst), bytes)`` entries, in insertion order."""
+        return list(self._entries.items())
+
+    def pairs_by_volume(self) -> List[Tuple[str, str, float]]:
+        """Transfers as ``(src, dst, bytes)``, largest first (Algorithm 1, line 1)."""
+        return sorted(
+            ((src, dst, value) for (src, dst), value in self._entries.items()),
+            key=lambda item: (-item[2], item[0], item[1]),
+        )
+
+    def tasks(self) -> List[str]:
+        """Every task name that sends or receives data, sorted."""
+        names = set()
+        for src, dst in self._entries:
+            names.add(src)
+            names.add(dst)
+        return sorted(names)
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of all entries."""
+        return sum(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"TrafficMatrix({len(self._entries)} entries, {self.total_bytes:.0f} bytes)"
+
+    # ----------------------------------------------------------- conversion
+    def to_array(self, task_order: Sequence[str]) -> np.ndarray:
+        """Dense matrix with rows/columns ordered by ``task_order``."""
+        index = {name: i for i, name in enumerate(task_order)}
+        matrix = np.zeros((len(task_order), len(task_order)))
+        for (src, dst), value in self._entries.items():
+            if src not in index or dst not in index:
+                raise WorkloadError(
+                    f"traffic matrix references task not in task_order: {src!r}/{dst!r}"
+                )
+            matrix[index[src], index[dst]] = value
+        return matrix
+
+    @classmethod
+    def from_array(
+        cls, matrix: np.ndarray, task_order: Sequence[str]
+    ) -> "TrafficMatrix":
+        """Build a sparse matrix from a dense array and a task ordering."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (len(task_order), len(task_order)):
+            raise WorkloadError("array shape does not match task_order length")
+        result = cls()
+        for i, src in enumerate(task_order):
+            for j, dst in enumerate(task_order):
+                if i != j and matrix[i, j] > 0:
+                    result.add(src, dst, float(matrix[i, j]))
+        return result
+
+
+@dataclass
+class Application:
+    """A named set of tasks plus their traffic matrix.
+
+    Attributes:
+        name: application identifier.
+        tasks: the application's tasks; names must be unique.
+        traffic: task-to-task byte counts; every referenced task must exist.
+        start_time: observed (or scheduled) start time in seconds, used when
+            placing sequences of applications (§6.3).
+    """
+
+    name: str
+    tasks: List[Task]
+    traffic: TrafficMatrix = field(default_factory=TrafficMatrix)
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("application name must be non-empty")
+        if not self.tasks:
+            raise WorkloadError(f"application {self.name!r} has no tasks")
+        names = [task.name for task in self.tasks]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"application {self.name!r} has duplicate task names")
+        known = set(names)
+        for src, dst in (pair for pair, _ in self.traffic.items()):
+            if src not in known or dst not in known:
+                raise WorkloadError(
+                    f"application {self.name!r}: traffic references unknown task "
+                    f"{src!r} or {dst!r}"
+                )
+        if self.start_time < 0:
+            raise WorkloadError("start_time must be >= 0")
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def task_names(self) -> List[str]:
+        """Task names in declaration order."""
+        return [task.name for task in self.tasks]
+
+    def task(self, name: str) -> Task:
+        """Look up a task by name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise WorkloadError(f"application {self.name!r} has no task {name!r}")
+
+    def cpu_demand(self, task_name: str) -> float:
+        """CPU demand (cores) of one task."""
+        return self.task(task_name).cpu_cores
+
+    @property
+    def total_cpu(self) -> float:
+        """Total CPU demand of the application in cores."""
+        return sum(task.cpu_cores for task in self.tasks)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes the application transfers between tasks."""
+        return self.traffic.total_bytes
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def transfers(self) -> List[Tuple[str, str, float]]:
+        """Transfers sorted by descending volume (Algorithm 1 input)."""
+        return self.traffic.pairs_by_volume()
+
+    def renamed(self, prefix: str) -> "Application":
+        """A copy with every task name prefixed (used when combining apps)."""
+        mapping = {task.name: f"{prefix}{task.name}" for task in self.tasks}
+        new_tasks = [Task(mapping[t.name], t.cpu_cores) for t in self.tasks]
+        new_traffic = TrafficMatrix(
+            {(mapping[s], mapping[d]): v for (s, d), v in self.traffic.items()}
+        )
+        return Application(
+            name=self.name,
+            tasks=new_tasks,
+            traffic=new_traffic,
+            start_time=self.start_time,
+        )
+
+
+def combine_applications(
+    applications: Sequence[Application], name: str = "combined"
+) -> Application:
+    """Merge applications into one, "in the obvious way" (§6.2).
+
+    Task names are prefixed with their application's name so that identically
+    named tasks from different applications stay distinct.  The combined
+    start time is the earliest of the inputs.
+    """
+    if not applications:
+        raise WorkloadError("cannot combine an empty list of applications")
+    tasks: List[Task] = []
+    traffic = TrafficMatrix()
+    for app in applications:
+        renamed = app.renamed(prefix=f"{app.name}/")
+        tasks.extend(renamed.tasks)
+        traffic.merge(renamed.traffic)
+    return Application(
+        name=name,
+        tasks=tasks,
+        traffic=traffic,
+        start_time=min(app.start_time for app in applications),
+    )

@@ -1,0 +1,146 @@
+"""sFlow-like flow-record traces (paper §2.1, §6.1).
+
+Choreo profiles applications with a network monitoring tool such as sFlow or
+tcpdump; the output is a stream of flow records (timestamp, source task,
+destination task, byte count).  This module defines that record format, a
+plain-text (CSV) serialisation so traces can live on disk, and the
+aggregation from records to per-application traffic matrices and to hourly
+byte series (the granularity the predictability analysis of §6.1 uses).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import WorkloadError
+from repro.units import HOUR
+from repro.workloads.application import TrafficMatrix
+
+_FIELDS = ("timestamp", "application", "src_task", "dst_task", "num_bytes")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One observed transfer between two tasks.
+
+    Attributes:
+        timestamp: seconds since the start of the trace.
+        application: name of the application the tasks belong to.
+        src_task: sending task.
+        dst_task: receiving task.
+        num_bytes: bytes observed in this record.
+    """
+
+    timestamp: float
+    application: str
+    src_task: str
+    dst_task: str
+    num_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise WorkloadError("flow record timestamp must be >= 0")
+        if self.num_bytes < 0:
+            raise WorkloadError("flow record byte count must be >= 0")
+        if not self.src_task or not self.dst_task:
+            raise WorkloadError("flow record task names must be non-empty")
+
+
+def write_trace(records: Iterable[FlowRecord], path: Union[str, Path]) -> int:
+    """Write records to a CSV file; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for record in records:
+            writer.writerow(
+                [
+                    f"{record.timestamp:.6f}",
+                    record.application,
+                    record.src_task,
+                    record.dst_task,
+                    f"{record.num_bytes:.1f}",
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> List[FlowRecord]:
+    """Read records from a CSV file written by :func:`write_trace`."""
+    path = Path(path)
+    records: List[FlowRecord] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != _FIELDS:
+            raise WorkloadError(
+                f"{path} does not look like a flow trace "
+                f"(expected header {_FIELDS}, got {reader.fieldnames})"
+            )
+        for row in reader:
+            try:
+                records.append(
+                    FlowRecord(
+                        timestamp=float(row["timestamp"]),
+                        application=row["application"],
+                        src_task=row["src_task"],
+                        dst_task=row["dst_task"],
+                        num_bytes=float(row["num_bytes"]),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise WorkloadError(f"malformed trace row {row!r}") from exc
+    return records
+
+
+def records_to_traffic_matrix(
+    records: Iterable[FlowRecord],
+    application: Optional[str] = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> TrafficMatrix:
+    """Aggregate flow records into a traffic matrix.
+
+    Args:
+        application: restrict to one application (all records when omitted).
+        start, end: optional half-open time window ``[start, end)``.
+    """
+    matrix = TrafficMatrix()
+    for record in records:
+        if application is not None and record.application != application:
+            continue
+        if start is not None and record.timestamp < start:
+            continue
+        if end is not None and record.timestamp >= end:
+            continue
+        matrix.add(record.src_task, record.dst_task, record.num_bytes)
+    return matrix
+
+
+def hourly_byte_series(
+    records: Iterable[FlowRecord],
+    application: Optional[str] = None,
+    n_hours: Optional[int] = None,
+) -> List[float]:
+    """Total bytes per hour for an application (input to §6.1's analysis).
+
+    The series starts at hour zero of the trace; hours with no traffic are
+    zero-filled.  ``n_hours`` pads (or truncates) the series to a fixed
+    length.
+    """
+    buckets: Dict[int, float] = {}
+    max_hour = -1
+    for record in records:
+        if application is not None and record.application != application:
+            continue
+        hour = int(record.timestamp // HOUR)
+        buckets[hour] = buckets.get(hour, 0.0) + record.num_bytes
+        max_hour = max(max_hour, hour)
+    length = n_hours if n_hours is not None else max_hour + 1
+    if length <= 0:
+        return []
+    return [buckets.get(h, 0.0) for h in range(length)]
