@@ -1,0 +1,13 @@
+"""Reproduction of "Choreo: Network-Aware Task Placement for Cloud Applications".
+
+Sub-packages:
+
+* :mod:`repro.net` — topologies, max-min fluid simulator, packet trains;
+* :mod:`repro.cloud` — synthetic EC2/Rackspace-like providers;
+* :mod:`repro.workloads` — applications, patterns, the HP-Cloud generator;
+* :mod:`repro.core` — Choreo itself: profiling, measurement, placement;
+* :mod:`repro.runtime` — executing placed applications on a provider;
+* :mod:`repro.experiments` — the §6 evaluation: scenarios, sweeps, CLI.
+"""
+
+__version__ = "0.1.0"

@@ -15,6 +15,7 @@ API used by :mod:`repro.runtime` to "run" placed applications.
 
 from repro.cloud.instances import InstanceType, VirtualMachine
 from repro.cloud.provider import CloudProvider, ProviderParams, VMFlow
+from repro.cloud.registry import make_provider, provider_names, register_provider
 from repro.cloud.ec2 import EC2Provider, ec2_params
 from repro.cloud.ec2_legacy import EC2LegacyProvider, ec2_legacy_params, EC2_LEGACY_ZONES
 from repro.cloud.rackspace import RackspaceProvider, rackspace_params
@@ -35,4 +36,7 @@ __all__ = [
     "rackspace_params",
     "netperf_mesh",
     "NetperfResult",
+    "make_provider",
+    "provider_names",
+    "register_provider",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.cloud.instances import EC2_MEDIUM
 from repro.cloud.provider import CloudProvider, ProviderParams
+from repro.cloud.registry import register_provider
 from repro.net.topology import TreeSpec
 from repro.units import GBITPS, MBITPS
 
@@ -97,3 +98,6 @@ class EC2Provider(CloudProvider):
                 colocation_probability=colocation_probability,
             )
         super().__init__(params, seed=seed)
+
+
+register_provider("ec2", EC2Provider)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.cloud.instances import EC2_MEDIUM
 from repro.cloud.provider import CloudProvider, ProviderParams
+from repro.cloud.registry import register_provider
 from repro.errors import CloudError
 from repro.net.topology import TreeSpec
 from repro.units import GBITPS, MBITPS
@@ -79,3 +80,6 @@ class EC2LegacyProvider(CloudProvider):
         if params is None:
             params = ec2_legacy_params(zone)
         super().__init__(params, seed=seed)
+
+
+register_provider("ec2-legacy", EC2LegacyProvider)

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cloud.instances import RACKSPACE_8GB
 from repro.cloud.provider import CloudProvider, ProviderParams
+from repro.cloud.registry import register_provider
 from repro.net.topology import TreeSpec
 from repro.units import GBITPS, MBITPS
 
@@ -68,3 +69,6 @@ class RackspaceProvider(CloudProvider):
 
     def __init__(self, seed: int = 0, params: Optional[ProviderParams] = None):
         super().__init__(params if params is not None else rackspace_params(), seed=seed)
+
+
+register_provider("rackspace", RackspaceProvider)

@@ -1,0 +1,62 @@
+"""Named provider registry.
+
+The evaluation subsystem (:mod:`repro.experiments`) constructs providers by
+name — "ec2", "ec2-legacy", "rackspace" — so that scenarios can be declared
+as data and trials can be re-created in worker processes.  Provider modules
+register a factory at import time; registration is idempotent so that
+importing :mod:`repro.cloud.ec2` and :mod:`repro.cloud.ec2_legacy` side by
+side (or re-importing either) never produces duplicate entries, while two
+*different* factories competing for one name raise :class:`CloudError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+from repro.errors import CloudError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cloud.provider import CloudProvider
+
+#: Factory signature: ``factory(seed=..., **kwargs) -> CloudProvider``.
+ProviderFactory = Callable[..., "CloudProvider"]
+
+_REGISTRY: Dict[str, ProviderFactory] = {}
+
+
+def register_provider(name: str, factory: ProviderFactory) -> ProviderFactory:
+    """Register a provider factory under ``name``.
+
+    Re-registering the *same* factory is a no-op (module re-import safety);
+    registering a different factory under an existing name raises
+    :class:`CloudError` so silent shadowing cannot happen.
+    """
+    if not name:
+        raise CloudError("provider name must be non-empty")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise CloudError(
+            f"provider {name!r} is already registered by a different factory"
+        )
+    _REGISTRY[name] = factory
+    return factory
+
+
+def provider_names() -> List[str]:
+    """All registered provider names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_provider(name: str, seed: int = 0, **kwargs) -> "CloudProvider":
+    """Construct a registered provider by name.
+
+    Raises:
+        CloudError: if no provider is registered under ``name``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise CloudError(
+            f"unknown provider {name!r}; registered: {provider_names()}"
+        ) from exc
+    return factory(seed=seed, **kwargs)

@@ -38,3 +38,7 @@ class WorkloadError(ReproError):
 
 class CloudError(ReproError):
     """Raised by the synthetic cloud providers (bad VM handles, etc.)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the evaluation subsystem (unknown scenarios, bad grids)."""

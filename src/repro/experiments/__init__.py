@@ -1,0 +1,61 @@
+"""Evaluation subsystem: scenario registry and experiment runner (paper §6).
+
+The paper's evaluation compares network-aware placement against baselines
+across many applications and cloud conditions.  This package makes that
+comparison a first-class, runnable artifact:
+
+* :mod:`repro.experiments.scenarios` — named, parameterised end-to-end
+  scenarios composing the workload generator, synthetic providers, and the
+  placement stack;
+* :mod:`repro.experiments.placers` — the placement-algorithm grid;
+* :mod:`repro.experiments.runner` — parallel sweeps over
+  scenario x placer x trial with per-trial seeding;
+* :mod:`repro.experiments.results` — structured JSON results with
+  speedup-over-baseline summaries (the Figure-9-style comparison);
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments``.
+"""
+
+from repro.experiments.placers import PlacerSpec, get_placer, placer_names
+from repro.experiments.results import ExperimentResult, TrialRecord
+from repro.experiments.runner import (
+    DEFAULT_PLACERS,
+    ExperimentConfig,
+    ExperimentRunner,
+    run_trial,
+    trial_seed,
+)
+from repro.experiments.scenarios import (
+    MODE_BATCH,
+    MODE_SEQUENCE,
+    ScenarioInstance,
+    ScenarioSpec,
+    fresh_provider,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "PlacerSpec",
+    "get_placer",
+    "placer_names",
+    "ExperimentResult",
+    "TrialRecord",
+    "DEFAULT_PLACERS",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_trial",
+    "trial_seed",
+    "MODE_BATCH",
+    "MODE_SEQUENCE",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "fresh_provider",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario",
+    "scenario_names",
+]

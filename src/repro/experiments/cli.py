@@ -1,0 +1,293 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Three commands:
+
+* ``list`` — show the registered scenarios (and placers);
+* ``run`` — sweep scenarios x placers, write structured JSON results, and
+  print the per-scenario speedup-over-baseline summary;
+* ``bench`` — a fixed small grid timed end to end, emitting a compact
+  machine-readable perf summary suitable for ``BENCH_*.json`` trajectory
+  tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.placers import placer_names
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import (
+    DEFAULT_PLACERS,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+from repro.experiments.scenarios import get_scenario, list_scenarios, scenario_names
+
+BENCH_SCENARIOS = ("smoke", "all-to-all", "partition-aggregate")
+
+
+def _parse_value(text: str):
+    """Parse a ``--param`` value as int, then float, then string."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(items: Optional[Sequence[str]]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for item in items or ():
+        if "=" not in item:
+            raise ExperimentError(f"--param expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        params[key.strip()] = _parse_value(value.strip())
+    return params
+
+
+def _resolve_scenarios(requested: Sequence[str]) -> List[str]:
+    if not requested:
+        raise ExperimentError("no scenario given; try --scenario smoke or 'all'")
+    if list(requested) == ["all"]:
+        return scenario_names()
+    for name in requested:
+        get_scenario(name)
+    return list(dict.fromkeys(requested))  # dedupe, keep order
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Choreo evaluation: scenario registry and experiment sweeps (§6).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios and placers")
+    list_cmd.add_argument("--tag", help="only scenarios carrying this tag")
+    list_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    run_cmd = sub.add_parser("run", help="sweep scenarios x placers and save JSON")
+    run_cmd.add_argument(
+        "--scenario", action="append", default=[], metavar="NAME",
+        help="scenario to run (repeatable; 'all' runs every registered one)",
+    )
+    run_cmd.add_argument(
+        "--placers", default=",".join(DEFAULT_PLACERS),
+        help=f"comma-separated placer names (default: {','.join(DEFAULT_PLACERS)})",
+    )
+    run_cmd.add_argument("--trials", type=int, default=3)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = one per grid cell, capped at CPU count)",
+    )
+    run_cmd.add_argument("--baseline", default="random")
+    run_cmd.add_argument(
+        "--output", default="experiment_results.json",
+        help="where to write the structured JSON results",
+    )
+    run_cmd.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="scenario builder parameter override (applied to every scenario "
+        "that declares the key; repeatable)",
+    )
+
+    bench_cmd = sub.add_parser(
+        "bench", help="timed small grid; emits a BENCH_*.json perf summary"
+    )
+    bench_cmd.add_argument(
+        "--scenarios", default=",".join(BENCH_SCENARIOS),
+        help=f"comma-separated scenarios (default: {','.join(BENCH_SCENARIOS)})",
+    )
+    bench_cmd.add_argument("--placers", default="greedy,random")
+    bench_cmd.add_argument("--trials", type=int, default=2)
+    bench_cmd.add_argument("--seed", type=int, default=0)
+    bench_cmd.add_argument("--workers", type=int, default=1)
+    bench_cmd.add_argument("--output", default="BENCH_experiments.json")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_scenarios(tag=args.tag)
+    if args.json:
+        payload = {
+            "scenarios": [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "tags": list(spec.tags),
+                    "params": dict(spec.defaults),
+                }
+                for spec in specs
+            ],
+            "placers": placer_names(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{len(specs)} scenario(s):")
+    for spec in specs:
+        tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"  {spec.name:<20}{tags}")
+        print(f"      {spec.description}")
+        if spec.defaults:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
+            print(f"      params: {rendered}")
+    print(f"placers: {', '.join(placer_names())}")
+    return 0
+
+
+def _make_config(
+    scenarios: Sequence[str],
+    placers_csv: str,
+    trials: int,
+    seed: int,
+    workers: int,
+    baseline: str,
+    param_items: Optional[Sequence[str]] = None,
+) -> ExperimentConfig:
+    placers = tuple(name.strip() for name in placers_csv.split(",") if name.strip())
+    overrides = _parse_params(param_items)
+    scenario_params = {
+        name: {
+            key: value
+            for key, value in overrides.items()
+            if key in get_scenario(name).defaults
+        }
+        for name in scenarios
+    }
+    unused = set(overrides) - {
+        key for params in scenario_params.values() for key in params
+    }
+    if unused:
+        raise ExperimentError(
+            f"--param key(s) {sorted(unused)} match no parameter of the "
+            f"selected scenario(s) {list(scenarios)}"
+        )
+    return ExperimentConfig(
+        scenarios=tuple(scenarios),
+        placers=placers,
+        trials=trials,
+        base_seed=seed,
+        baseline=baseline,
+        workers=None if workers == 0 else workers,
+        scenario_params=scenario_params,
+    )
+
+
+def _print_run_summary(result: ExperimentResult) -> None:
+    summary = result.summary()
+    for scenario in result.scenarios:
+        print(f"scenario {scenario}:")
+        for placer in result.placers:
+            cell = summary[scenario][placer]
+            if not cell.get("trials_ok"):
+                print(f"  {placer:<12} all {cell['trials_failed']} trial(s) failed")
+                continue
+            line = (
+                f"  {placer:<12} mean total running time "
+                f"{cell['mean_total_running_time_s']:.1f}s"
+            )
+            speedup = cell.get(f"speedup_vs_{result.baseline}")
+            if speedup:
+                line += f", median speedup vs {result.baseline} {speedup['median_%']:.1f}%"
+            if cell.get("mean_measurement_overhead_s"):
+                line += f", measurement {cell['mean_measurement_overhead_s']:.0f}s"
+            print(line)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenarios = _resolve_scenarios(args.scenario)
+    config = _make_config(
+        scenarios, args.placers, args.trials, args.seed, args.workers,
+        args.baseline, args.param,
+    )
+    result = ExperimentRunner(config).run()
+    path = result.save(args.output)
+    _print_run_summary(result)
+    failed = [rec for rec in result.records if not rec.ok]
+    print(f"wrote {len(result.records)} trial record(s) to {path}")
+    if failed:
+        print(
+            f"ERROR: {len(failed)} trial(s) failed; see 'error' fields in {path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    scenarios = _resolve_scenarios(
+        [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    )
+    config = _make_config(
+        scenarios, args.placers, args.trials, args.seed, args.workers, "random"
+    )
+    started = time.perf_counter()
+    result = ExperimentRunner(config).run()
+    wall_s = time.perf_counter() - started
+
+    ok = [rec for rec in result.records if rec.ok]
+    summary = result.summary()
+    per_scenario = {}
+    for scenario in result.scenarios:
+        cell_records = [rec for rec in ok if rec.scenario == scenario]
+        entry: Dict[str, object] = {
+            "mean_trial_wall_s": (
+                sum(rec.trial_wall_s for rec in cell_records) / len(cell_records)
+                if cell_records
+                else None
+            ),
+        }
+        for placer in result.placers:
+            speedup = summary[scenario][placer].get("speedup_vs_random")
+            if speedup:
+                entry[f"median_speedup_{placer}_vs_random_%"] = speedup["median_%"]
+        per_scenario[scenario] = entry
+
+    payload = {
+        "schema": "repro.experiments/bench/v1",
+        "scenarios": list(result.scenarios),
+        "placers": list(result.placers),
+        "trials": config.trials,
+        "workers": config.workers,
+        "total_wall_s": round(wall_s, 3),
+        "trials_total": len(result.records),
+        "trials_ok": len(ok),
+        "trials_per_second": round(len(result.records) / wall_s, 3) if wall_s else None,
+        "per_scenario": per_scenario,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "bench": _cmd_bench}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

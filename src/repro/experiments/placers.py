@@ -1,0 +1,108 @@
+"""Placer registry for the evaluation sweep grid (paper §6).
+
+Maps the placer names used on the CLI and in result files to factories.
+Network-aware placers (``needs_profile=True``) get a measurement campaign
+charged to their trial; network-oblivious baselines skip it, exactly as the
+paper's comparison does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.placement.base import Placer
+from repro.core.placement.baselines import (
+    MinimumMachinesPlacer,
+    RandomPlacer,
+    RoundRobinPlacer,
+)
+from repro.core.placement.greedy import GreedyPlacer
+from repro.core.placement.ilp import BruteForcePlacer, OptimalPlacer
+from repro.errors import ExperimentError
+
+#: Factory signature: ``factory(seed) -> Placer`` (seed ignored by
+#: deterministic placers).
+PlacerFactory = Callable[[int], Placer]
+
+
+@dataclass(frozen=True)
+class PlacerSpec:
+    """A named placement algorithm available to the experiment runner."""
+
+    name: str
+    description: str
+    factory: PlacerFactory
+    needs_profile: bool = False
+
+
+_PLACERS: Dict[str, PlacerSpec] = {}
+
+
+def _register(spec: PlacerSpec) -> PlacerSpec:
+    if spec.name in _PLACERS:
+        raise ExperimentError(f"placer {spec.name!r} is already registered")
+    _PLACERS[spec.name] = spec
+    return spec
+
+
+_register(
+    PlacerSpec(
+        name="greedy",
+        description="Choreo's greedy network-aware placement (Algorithm 1, §5).",
+        factory=lambda seed: GreedyPlacer(model="hose"),
+        needs_profile=True,
+    )
+)
+_register(
+    PlacerSpec(
+        name="ilp",
+        description="The Appendix's linearised optimal placement (HiGHS MILP).",
+        factory=lambda seed: OptimalPlacer(model="hose", time_limit_s=30.0),
+        needs_profile=True,
+    )
+)
+_register(
+    PlacerSpec(
+        name="brute-force",
+        description="Exhaustive optimal placement; tiny instances only.",
+        factory=lambda seed: BruteForcePlacer(model="hose"),
+        needs_profile=True,
+    )
+)
+_register(
+    PlacerSpec(
+        name="random",
+        description="Tasks on random CPU-feasible VMs (the paper's baseline).",
+        factory=lambda seed: RandomPlacer(seed=seed),
+    )
+)
+_register(
+    PlacerSpec(
+        name="round-robin",
+        description="Tasks round-robin across VMs, skipping full ones.",
+        factory=lambda seed: RoundRobinPlacer(),
+    )
+)
+_register(
+    PlacerSpec(
+        name="min-machines",
+        description="First-fit packing onto as few VMs as possible.",
+        factory=lambda seed: MinimumMachinesPlacer(),
+    )
+)
+
+
+def get_placer(name: str) -> PlacerSpec:
+    """Look up a placer spec by name."""
+    try:
+        return _PLACERS[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown placer {name!r}; registered: {placer_names()}"
+        ) from exc
+
+
+def placer_names() -> List[str]:
+    """All registered placer names, sorted."""
+    return sorted(_PLACERS)

@@ -1,0 +1,267 @@
+"""Parallel experiment runner: sweep scenario x placer x trial grids.
+
+One *trial* re-creates a scenario from a derived seed, runs one placer on
+it, executes the resulting placement on the provider's fluid simulator, and
+records the timings into a :class:`~repro.experiments.results.TrialRecord`.
+The per-trial seed depends only on ``(base_seed, scenario, trial)`` — not on
+the placer — so every placer faces the *same* ground-truth network and
+applications and per-trial speedups are paired comparisons, as in §6.
+
+Trials are independent, so the runner fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`; everything a worker needs
+is named (scenario name, placer name, seed), making the work items picklable
+and the run reproducible regardless of scheduling order.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.measurement.orchestrator import MeasurementPlan, NetworkMeasurer
+from repro.core.network_profile import NetworkProfile
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.placers import get_placer
+from repro.experiments.results import ExperimentResult, TrialRecord
+from repro.experiments.scenarios import (
+    MODE_SEQUENCE,
+    ScenarioInstance,
+    get_scenario,
+)
+from repro.runtime.executor import run_applications
+from repro.runtime.sequence import SequentialPlacementRunner
+
+DEFAULT_PLACERS: Tuple[str, ...] = ("greedy", "random", "round-robin")
+
+
+def trial_seed(base_seed: int, scenario_name: str, trial: int) -> int:
+    """Deterministic per-trial seed, independent of the placer.
+
+    Uses CRC32 (stable across processes and Python versions, unlike
+    ``hash``) so parallel workers derive identical seeds.
+    """
+    key = f"{base_seed}:{scenario_name}:{trial}".encode()
+    return zlib.crc32(key)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A sweep grid: which scenarios, placers, and trials to run.
+
+    Attributes:
+        scenarios: registered scenario names to sweep.
+        placers: registered placer names to compare.
+        trials: trials per (scenario, placer) cell.
+        base_seed: root seed the per-trial seeds derive from.
+        baseline: placer the speedups are computed against; it is added to
+            the grid automatically when missing.
+        workers: worker processes; ``1`` runs inline (no pool), ``None``
+            sizes the pool to the grid (capped at the CPU count).
+        scenario_params: per-scenario builder parameter overrides.
+    """
+
+    scenarios: Tuple[str, ...]
+    placers: Tuple[str, ...] = DEFAULT_PLACERS
+    trials: int = 3
+    base_seed: int = 0
+    baseline: str = "random"
+    workers: Optional[int] = 1
+    scenario_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ExperimentError("an experiment needs at least one scenario")
+        if self.trials < 1:
+            raise ExperimentError("trials must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ExperimentError("workers must be >= 1 (or None for auto)")
+        for name in self.placers:
+            get_placer(name)  # fail fast on typos
+        get_placer(self.baseline)
+        for name in self.scenarios:
+            get_scenario(name)
+        for name, params in self.scenario_params.items():
+            get_scenario(name).validate_params(params)
+
+    @property
+    def effective_placers(self) -> Tuple[str, ...]:
+        """The placer grid with the baseline guaranteed present."""
+        if self.baseline in self.placers:
+            return self.placers
+        return self.placers + (self.baseline,)
+
+
+def run_trial(
+    scenario_name: str,
+    placer_name: str,
+    trial: int,
+    base_seed: int,
+    scenario_params: Optional[Mapping[str, object]] = None,
+) -> TrialRecord:
+    """Run one grid cell and return its record.
+
+    Library failures (:class:`ReproError`) are captured in the record so one
+    infeasible trial cannot sink a whole sweep; programming errors propagate.
+    """
+    seed = trial_seed(base_seed, scenario_name, trial)
+    record = TrialRecord(
+        scenario=scenario_name, placer=placer_name, trial=trial, seed=seed
+    )
+    started = time.perf_counter()
+    try:
+        spec = get_scenario(scenario_name)
+        instance = spec.build(seed=seed, **dict(scenario_params or {}))
+        record.n_apps = len(instance.apps)
+        record.n_vms = len(instance.cluster.machines)
+        if instance.mode == MODE_SEQUENCE:
+            _run_sequence_trial(instance, placer_name, seed, record)
+        else:
+            _run_batch_trial(instance, placer_name, seed, record)
+    except ReproError as exc:
+        record.status = "error"
+        record.error = f"{type(exc).__name__}: {exc}"
+    record.trial_wall_s = time.perf_counter() - started
+    return record
+
+
+def _measurement_plan() -> MeasurementPlan:
+    # The paper's comparison charges the same measurement time to every
+    # scheme rather than letting campaigns advance the clock mid-trial.
+    return MeasurementPlan(advance_clock=False)
+
+
+def _run_batch_trial(
+    instance: ScenarioInstance, placer_name: str, seed: int, record: TrialRecord
+) -> None:
+    """Place every application at time zero and run them together."""
+    placer_spec = get_placer(placer_name)
+    placer = placer_spec.factory(seed)
+    provider, cluster = instance.provider, instance.cluster
+
+    place_started = time.perf_counter()
+    profile: Optional[NetworkProfile] = None
+    if placer_spec.needs_profile:
+        measurer = NetworkMeasurer(provider, plan=_measurement_plan())
+        profile = measurer.measure(
+            cluster.machine_names(), background=instance.background
+        )
+        record.measurement_overhead_s = profile.measurement_duration_s
+
+    placements = {}
+    state = cluster
+    for app in instance.apps:
+        placement = placer.place(app, state, profile)
+        placements[app.name] = placement
+        state = state.with_usage(placement.cpu_usage(app))
+    record.placement_wall_s = time.perf_counter() - place_started
+
+    runs = run_applications(
+        provider,
+        placements=placements,
+        apps=instance.apps,
+        start_times={app.name: 0.0 for app in instance.apps},
+        background=instance.background,
+    )
+    _fill_run_metrics(record, runs.values())
+
+
+def _run_sequence_trial(
+    instance: ScenarioInstance, placer_name: str, seed: int, record: TrialRecord
+) -> None:
+    """Replay the §2.4 arrival sequence with the placer under test."""
+    placer_spec = get_placer(placer_name)
+    placer = placer_spec.factory(seed)
+    runner = SequentialPlacementRunner(
+        instance.provider,
+        instance.cluster,
+        placer,
+        measurement=_measurement_plan(),
+        measure_network=placer_spec.needs_profile,
+        background=instance.background,
+    )
+    result = runner.run(instance.apps)
+    record.placement_wall_s = result.placement_wall_s
+    record.measurement_overhead_s = sum(
+        profile.measurement_duration_s
+        for profile in result.profiles.values()
+        if profile is not None
+    )
+    _fill_run_metrics(record, result.runs.values())
+
+
+def _fill_run_metrics(record: TrialRecord, runs) -> None:
+    runs = list(runs)
+    record.per_app_duration_s = {run.app_name: run.duration for run in runs}
+    record.total_running_time_s = sum(run.duration for run in runs)
+    record.makespan_s = max(run.completion_time for run in runs) - min(
+        run.start_time for run in runs
+    )
+    record.network_bytes = sum(run.network_bytes for run in runs)
+    record.colocated_bytes = sum(run.colocated_bytes for run in runs)
+
+
+class ExperimentRunner:
+    """Executes a sweep grid, in parallel when asked to."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+
+    def cells(self) -> List[Tuple[str, str, int]]:
+        """The grid as ``(scenario, placer, trial)`` work items."""
+        return [
+            (scenario, placer, trial)
+            for scenario in self.config.scenarios
+            for placer in self.config.effective_placers
+            for trial in range(self.config.trials)
+        ]
+
+    def run(self) -> ExperimentResult:
+        """Run every cell and return the aggregated result."""
+        config = self.config
+        cells = self.cells()
+        workers = config.workers
+        if workers is None:
+            import os
+
+            workers = max(1, min(len(cells), os.cpu_count() or 1))
+
+        if workers == 1:
+            records = [
+                run_trial(
+                    scenario, placer, trial, config.base_seed,
+                    config.scenario_params.get(scenario),
+                )
+                for scenario, placer, trial in cells
+            ]
+        else:
+            records = self._run_parallel(cells, workers)
+
+        records.sort(key=lambda rec: (rec.scenario, rec.placer, rec.trial))
+        return ExperimentResult(
+            scenarios=list(config.scenarios),
+            placers=list(config.effective_placers),
+            trials=config.trials,
+            base_seed=config.base_seed,
+            baseline=config.baseline,
+            records=records,
+        )
+
+    def _run_parallel(
+        self, cells: Sequence[Tuple[str, str, int]], workers: int
+    ) -> List[TrialRecord]:
+        config = self.config
+        records: List[TrialRecord] = []
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: Dict[futures.Future, Tuple[str, str, int]] = {
+                pool.submit(
+                    run_trial, scenario, placer, trial, config.base_seed,
+                    config.scenario_params.get(scenario),
+                ): (scenario, placer, trial)
+                for scenario, placer, trial in cells
+            }
+            for future in futures.as_completed(pending):
+                records.append(future.result())
+        return records

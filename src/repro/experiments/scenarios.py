@@ -1,0 +1,386 @@
+"""Named, parameterised end-to-end evaluation scenarios (paper §6).
+
+A *scenario* bundles everything one trial of the evaluation needs: a
+synthetic provider (built through :mod:`repro.cloud.registry`), a set of
+tenant VMs, the applications to place, optional cross traffic, and how the
+trial should run (place everything up front, or replay the §2.4 arrival
+sequence).  Scenarios are registered by name so the experiment runner and
+the CLI can address them as data, and every builder is a pure function of
+``(seed, params)`` so trials are reproducible and can be re-created inside
+worker processes.
+
+Adding a scenario::
+
+    @scenario("my-scenario", description="...", tags=("ec2",),
+              defaults={"n_vms": 8})
+    def _build_my_scenario(seed, n_vms):
+        provider, cluster = fresh_provider("ec2", seed=seed, n_vms=n_vms)
+        app = mapreduce("job", 4, 4, 10 * GBYTE)
+        return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.provider import CloudProvider, VMFlow
+from repro.cloud.registry import make_provider
+from repro.core.placement.base import ClusterState
+from repro.errors import ExperimentError
+from repro.units import GBYTE, MBYTE
+from repro.workloads.application import Application
+from repro.workloads.generator import HPCloudWorkloadGenerator, WorkloadSpec
+from repro.workloads.patterns import mapreduce, scatter_gather, uniform_mesh
+
+#: How a scenario's applications are executed by the runner.
+MODE_BATCH = "batch"  #: all applications placed at time zero, run together
+MODE_SEQUENCE = "sequence"  #: applications arrive and are placed one by one (§2.4)
+
+
+@dataclass
+class ScenarioInstance:
+    """One concrete, seeded realisation of a scenario.
+
+    Attributes:
+        provider: the synthetic cloud, with the tenant's VMs already
+            requested.
+        cluster: the tenant's machines as a placement cluster.
+        apps: the applications to place (start times matter in
+            ``sequence`` mode).
+        background: cross-traffic flows sharing the network with the
+            tenant's applications; they must be finite (have a size or an
+            end time) so simulations terminate.
+        mode: :data:`MODE_BATCH` or :data:`MODE_SEQUENCE`.
+    """
+
+    provider: CloudProvider
+    cluster: ClusterState
+    apps: List[Application]
+    background: List[VMFlow] = field(default_factory=list)
+    mode: str = MODE_BATCH
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_BATCH, MODE_SEQUENCE):
+            raise ExperimentError(f"unknown scenario mode {self.mode!r}")
+        if not self.apps:
+            raise ExperimentError("a scenario instance needs at least one application")
+        for flow in self.background:
+            if flow.size_bytes is None and flow.end_time is None:
+                raise ExperimentError(
+                    f"background flow {flow.flow_id!r} is unbounded; give it a "
+                    "size or an end time so simulations terminate"
+                )
+
+
+#: A builder takes ``(seed, **params)`` and returns a :class:`ScenarioInstance`.
+ScenarioBuilder = Callable[..., ScenarioInstance]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: metadata plus a parameterised builder."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+    tags: Tuple[str, ...] = ()
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    def validate_params(self, overrides: Mapping[str, object]) -> None:
+        """Raise :class:`ExperimentError` for override keys the builder lacks."""
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise ExperimentError(
+                f"scenario {self.name!r} has no parameters {sorted(unknown)}; "
+                f"available: {sorted(self.defaults)}"
+            )
+
+    def build(self, seed: int = 0, **overrides) -> ScenarioInstance:
+        """Realise the scenario with ``seed`` and parameter overrides."""
+        self.validate_params(overrides)
+        params = {**self.defaults, **overrides}
+        return self.builder(seed=seed, **params)
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a scenario spec; duplicate names raise :class:`ExperimentError`."""
+    if spec.name in _REGISTRY:
+        raise ExperimentError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario(
+    name: str,
+    description: str,
+    tags: Sequence[str] = (),
+    defaults: Optional[Mapping[str, object]] = None,
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Decorator form of :func:`register_scenario`."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        register_scenario(
+            ScenarioSpec(
+                name=name,
+                description=description,
+                builder=builder,
+                tags=tuple(tags),
+                defaults=dict(defaults or {}),
+            )
+        )
+        return builder
+
+    return decorator
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from exc
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_scenarios(tag: Optional[str] = None) -> List[ScenarioSpec]:
+    """All registered scenarios (optionally filtered by tag), sorted by name."""
+    specs = [_REGISTRY[name] for name in scenario_names()]
+    if tag is not None:
+        specs = [spec for spec in specs if tag in spec.tags]
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Builder helpers
+# ---------------------------------------------------------------------------
+def fresh_provider(
+    provider_name: str, seed: int, n_vms: int, **provider_kwargs
+) -> Tuple[CloudProvider, ClusterState]:
+    """A seeded provider with ``n_vms`` tenant VMs and its placement cluster."""
+    if n_vms < 2:
+        raise ExperimentError("scenarios need at least two VMs")
+    provider = make_provider(provider_name, seed=seed, **provider_kwargs)
+    provider.request_vms(n_vms)
+    cluster = ClusterState.from_vms(provider.vms())
+    return provider, cluster
+
+
+def _light_workload_spec(max_tasks: int = 8) -> WorkloadSpec:
+    """Generator knobs that keep single trials CPU-feasible and fast."""
+    return WorkloadSpec(
+        min_tasks=4,
+        max_tasks=max_tasks,
+        cpu_choices=(0.5, 1.0, 2.0),
+        diurnal=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registered scenarios
+# ---------------------------------------------------------------------------
+@scenario(
+    "smoke",
+    description="Tiny MapReduce on 4 EC2 VMs; the CI fast path.",
+    tags=("ec2", "fast"),
+    defaults={"n_vms": 4, "shuffle_gbytes": 0.5},
+)
+def _build_smoke(seed: int, n_vms: int, shuffle_gbytes: float) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    app = mapreduce(
+        "smoke-job", 2, 2, float(shuffle_gbytes) * GBYTE,
+        rng=np.random.default_rng(seed),
+    )
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "single-app-ec2",
+    description="One generated HP-Cloud-like application placed on EC2 (§6.2).",
+    tags=("ec2", "generator"),
+    defaults={"n_vms": 8, "max_tasks": 8},
+)
+def _build_single_app(seed: int, n_vms: int, max_tasks: int) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    gen = HPCloudWorkloadGenerator(_light_workload_spec(int(max_tasks)), seed=seed)
+    app = gen.generate_application()
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "multi-app-sequence",
+    description=(
+        "Applications arrive one by one and are placed as they arrive, with "
+        "running apps acting as cross traffic (§2.4, §6.3)."
+    ),
+    tags=("ec2", "sequence"),
+    defaults={"n_vms": 10, "n_apps": 4, "arrival_gap_s": 30.0},
+)
+def _build_sequence(
+    seed: int, n_vms: int, n_apps: int, arrival_gap_s: float
+) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    gen = HPCloudWorkloadGenerator(_light_workload_spec(max_tasks=6), seed=seed)
+    # Compressed arrival times so transfers overlap and later placements see
+    # earlier applications as cross traffic.
+    apps = [
+        gen.generate_application(start_time=i * float(arrival_gap_s))
+        for i in range(int(n_apps))
+    ]
+    return ScenarioInstance(
+        provider=provider, cluster=cluster, apps=apps, mode=MODE_SEQUENCE
+    )
+
+
+@scenario(
+    "all-to-all",
+    description="Uniform all-to-all mesh, the pattern Choreo can least improve (§7.1).",
+    tags=("ec2", "pattern"),
+    defaults={"n_vms": 6, "n_tasks": 6, "pair_mbytes": 200.0},
+)
+def _build_all_to_all(
+    seed: int, n_vms: int, n_tasks: int, pair_mbytes: float
+) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    app = uniform_mesh(
+        "mesh", int(n_tasks), bytes_per_pair=float(pair_mbytes) * MBYTE,
+        cpu_per_task=1.0,
+    )
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "partition-aggregate",
+    description="Scatter/gather frontend with heavy worker responses.",
+    tags=("ec2", "pattern"),
+    defaults={"n_vms": 8, "n_workers": 7, "response_mbytes": 400.0},
+)
+def _build_partition_aggregate(
+    seed: int, n_vms: int, n_workers: int, response_mbytes: float
+) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    app = scatter_gather(
+        "svc", int(n_workers),
+        request_bytes=4 * MBYTE,
+        response_bytes=float(response_mbytes) * MBYTE,
+        cpu_per_task=1.0,
+    )
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "bursty-mapreduce",
+    description="Skewed MapReduce shuffle with hot reducers (lognormal weights).",
+    tags=("ec2", "pattern"),
+    defaults={"n_vms": 8, "n_mappers": 4, "n_reducers": 4, "shuffle_gbytes": 4.0,
+              "skew": 1.5},
+)
+def _build_bursty_mapreduce(
+    seed: int, n_vms: int, n_mappers: int, n_reducers: int,
+    shuffle_gbytes: float, skew: float,
+) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    app = mapreduce(
+        "bursty-job", int(n_mappers), int(n_reducers),
+        float(shuffle_gbytes) * GBYTE, skew=float(skew),
+        rng=np.random.default_rng(seed),
+    )
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "cross-traffic",
+    description=(
+        "Placement while another tenant's bulk transfers load random paths; "
+        "measurement sees them as cross traffic (§3.2)."
+    ),
+    tags=("ec2", "cross-traffic"),
+    defaults={"n_vms": 6, "n_cross_flows": 4, "cross_gbytes": 2.0},
+)
+def _build_cross_traffic(
+    seed: int, n_vms: int, n_cross_flows: int, cross_gbytes: float
+) -> ScenarioInstance:
+    provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    rng = np.random.default_rng(seed + 0x5EED)
+    names = cluster.machine_names()
+    background: List[VMFlow] = []
+    for i in range(int(n_cross_flows)):
+        src, dst = rng.choice(names, size=2, replace=False)
+        background.append(
+            VMFlow(
+                flow_id=f"cross:{i}",
+                src_vm=str(src),
+                dst_vm=str(dst),
+                size_bytes=float(cross_gbytes) * GBYTE,
+                start_time=0.0,
+                tag="cross-traffic",
+            )
+        )
+    gen = HPCloudWorkloadGenerator(_light_workload_spec(max_tasks=6), seed=seed)
+    app = gen.generate_application()
+    return ScenarioInstance(
+        provider=provider, cluster=cluster, apps=[app], background=background
+    )
+
+
+@scenario(
+    "hetero-topology",
+    description=(
+        "EC2 with an extra aggregation tier (8-hop core paths, Figure 8) and "
+        "more aggressive colocation."
+    ),
+    tags=("ec2", "topology"),
+    defaults={"n_vms": 8, "colocation_probability": 0.15},
+)
+def _build_hetero_topology(
+    seed: int, n_vms: int, colocation_probability: float
+) -> ScenarioInstance:
+    provider, cluster = fresh_provider(
+        "ec2", seed=seed, n_vms=int(n_vms),
+        extra_agg_layer=True,
+        colocation_probability=float(colocation_probability),
+    )
+    gen = HPCloudWorkloadGenerator(_light_workload_spec(max_tasks=8), seed=seed)
+    app = gen.generate_application()
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "legacy-ec2-zone",
+    description="The highly variable May-2012 EC2 network, one availability zone (Figure 1).",
+    tags=("ec2-legacy",),
+    defaults={"n_vms": 6, "zone": "us-east-1a"},
+)
+def _build_legacy_zone(seed: int, n_vms: int, zone: str) -> ScenarioInstance:
+    provider, cluster = fresh_provider(
+        "ec2-legacy", seed=seed, n_vms=int(n_vms), zone=str(zone)
+    )
+    gen = HPCloudWorkloadGenerator(_light_workload_spec(max_tasks=6), seed=seed)
+    app = gen.generate_application()
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "rackspace-uniform",
+    description="Rackspace's uniform 300 Mbit/s network, where colocation is the only win.",
+    tags=("rackspace",),
+    defaults={"n_vms": 6, "shuffle_gbytes": 2.0},
+)
+def _build_rackspace(seed: int, n_vms: int, shuffle_gbytes: float) -> ScenarioInstance:
+    provider, cluster = fresh_provider("rackspace", seed=seed, n_vms=int(n_vms))
+    app = mapreduce(
+        "rs-job", 3, 3, float(shuffle_gbytes) * GBYTE,
+        rng=np.random.default_rng(seed),
+    )
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])

@@ -17,6 +17,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import TopologyError
+
 
 class LinkKind(enum.Enum):
     """The role a directed link plays in the topology."""
@@ -51,7 +53,7 @@ class Link:
 
     def __post_init__(self) -> None:
         if self.capacity_bps <= 0:
-            raise ValueError(
+            raise TopologyError(
                 f"link {self.link_id!r} must have positive capacity, "
                 f"got {self.capacity_bps!r}"
             )

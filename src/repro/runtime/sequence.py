@@ -18,6 +18,7 @@ times per placement algorithm.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,8 @@ class SequenceResult:
     runs: Dict[str, ApplicationRun]
     placements: Dict[str, Placement]
     profiles: Dict[str, Optional[NetworkProfile]] = field(default_factory=dict)
+    #: Host wall-clock spent measuring and placing (simulation excluded).
+    placement_wall_s: float = 0.0
 
     @property
     def total_running_time(self) -> float:
@@ -61,6 +64,7 @@ class SequentialPlacementRunner:
         placer: Placer,
         measurement: Optional[MeasurementPlan] = None,
         measure_network: bool = True,
+        background: Sequence[VMFlow] = (),
     ):
         """
         Args:
@@ -72,6 +76,10 @@ class SequentialPlacementRunner:
                 comparison charges the same measurement time to every scheme.
             measure_network: set to False for network-oblivious baselines to
                 skip the (useless for them) measurement campaign entirely.
+            background: another tenant's flows sharing the network for the
+                whole sequence; they load the simulated transfers and, while
+                still running at an arrival, appear as cross traffic to that
+                arrival's measurement.
         """
         self.provider = provider
         self.cluster = cluster
@@ -80,6 +88,7 @@ class SequentialPlacementRunner:
             measurement = MeasurementPlan(advance_clock=False)
         self.measurer = NetworkMeasurer(provider, plan=measurement)
         self.measure_network = measure_network
+        self.background = list(background)
 
     # ------------------------------------------------------------------ run
     def run(self, apps: Sequence[Application]) -> SequenceResult:
@@ -96,6 +105,7 @@ class SequentialPlacementRunner:
         placed_flows: List[VMFlow] = []
         app_cpu: Dict[str, Dict[str, float]] = {}
         app_of_flow: Dict[str, str] = {}
+        placement_wall = 0.0
 
         for app in ordered:
             arrival = app.start_time
@@ -109,6 +119,7 @@ class SequentialPlacementRunner:
                     cpu_used[machine] = cpu_used.get(machine, 0.0) + cores
             cluster_now = self.cluster.with_usage(cpu_used)
 
+            place_started = time.perf_counter()
             profile: Optional[NetworkProfile] = None
             if self.measure_network:
                 profile = self.measurer.measure(
@@ -117,6 +128,7 @@ class SequentialPlacementRunner:
             profiles[app.name] = profile
 
             placement = self.placer.place(app, cluster_now, profile)
+            placement_wall += time.perf_counter() - place_started
             placements[app.name] = placement
             app_cpu[app.name] = placement.cpu_usage(app)
 
@@ -130,8 +142,14 @@ class SequentialPlacementRunner:
             placements=placements,
             apps=list(ordered),
             start_times={app.name: app.start_time for app in ordered},
+            background=self.background,
         )
-        return SequenceResult(runs=runs, placements=placements, profiles=profiles)
+        return SequenceResult(
+            runs=runs,
+            placements=placements,
+            profiles=profiles,
+            placement_wall_s=placement_wall,
+        )
 
     # ------------------------------------------------------------- internals
     def _state_at(
@@ -143,11 +161,14 @@ class SequentialPlacementRunner:
         """Which flows are still active at ``time_s``, and which apps finished.
 
         Returns ``(active_flows, finished_app_names)``.  Flows that have not
-        started yet are neither active nor finished.
+        started yet are neither active nor finished.  Background flows share
+        the simulated network (slowing the placed flows down) and, while
+        still running, count as active so measurements see them.
         """
-        if not placed_flows:
+        all_flows = list(placed_flows) + self.background
+        if not all_flows:
             return [], set()
-        partial = self.provider.simulate(placed_flows, until=time_s)
+        partial = self.provider.simulate(all_flows, until=time_s)
         active: List[VMFlow] = []
         remaining_by_app: Dict[str, int] = {}
         for flow in placed_flows:
@@ -157,6 +178,13 @@ class SequentialPlacementRunner:
             if completed:
                 continue
             remaining_by_app[app_name] += 1
+            if flow.start_time <= time_s:
+                active.append(flow)
+        for flow in self.background:
+            if flow.flow_id in partial.completion_times:
+                continue
+            if flow.end_time is not None and flow.end_time <= time_s:
+                continue
             if flow.start_time <= time_s:
                 active.append(flow)
         finished = {name for name, count in remaining_by_app.items() if count == 0}

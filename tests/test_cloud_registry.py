@@ -1,0 +1,51 @@
+"""Provider registry tests: ec2 and ec2_legacy must coexist without
+duplicate registration, and the error contract must hold."""
+
+import pytest
+
+# Importing both modules side by side must not raise (idempotent registry).
+import repro.cloud.ec2  # noqa: F401
+import repro.cloud.ec2_legacy  # noqa: F401
+from repro.cloud.ec2 import EC2Provider
+from repro.cloud.ec2_legacy import EC2LegacyProvider
+from repro.cloud.registry import make_provider, provider_names, register_provider
+from repro.errors import CloudError, ReproError, TopologyError
+from repro.net.links import Link
+
+
+def test_all_builtin_providers_are_registered():
+    names = provider_names()
+    assert {"ec2", "ec2-legacy", "rackspace"} <= set(names)
+    assert names == sorted(names)
+
+
+def test_make_provider_builds_ec2_and_legacy_side_by_side():
+    modern = make_provider("ec2", seed=1)
+    legacy = make_provider("ec2-legacy", seed=1, zone="us-east-1c")
+    assert isinstance(modern, EC2Provider)
+    assert isinstance(legacy, EC2LegacyProvider)
+    assert legacy.zone == "us-east-1c"
+    assert modern.params.name != legacy.params.name
+
+
+def test_reregistering_same_factory_is_idempotent():
+    register_provider("ec2", EC2Provider)  # same factory: no-op
+    assert provider_names().count("ec2") == 1
+
+
+def test_conflicting_registration_raises_cloud_error():
+    with pytest.raises(CloudError):
+        register_provider("ec2", EC2LegacyProvider)
+
+
+def test_unknown_provider_raises_cloud_error():
+    with pytest.raises(CloudError):
+        make_provider("no-such-cloud")
+
+
+def test_link_capacity_violation_raises_library_error():
+    # Regression: this used to raise a bare ValueError; the library contract
+    # is that every failure derives from ReproError.
+    with pytest.raises(TopologyError):
+        Link(link_id="bad", src="a", dst="b", capacity_bps=0.0)
+    assert issubclass(TopologyError, ReproError)

@@ -1,0 +1,203 @@
+"""Evaluation-subsystem tests: scenario registry, per-trial seeding, the
+(serial and parallel) experiment runner, JSON results, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    TrialRecord,
+    get_scenario,
+    list_scenarios,
+    placer_names,
+    run_trial,
+    scenario_names,
+    trial_seed,
+)
+from repro.experiments.cli import main as cli_main
+
+
+# ----------------------------------------------------------------- registry
+def test_registry_has_at_least_five_distinct_scenarios():
+    names = scenario_names()
+    assert len(names) >= 5
+    assert len(set(names)) == len(names)
+    for spec in list_scenarios():
+        assert spec.description
+
+
+def test_unknown_scenario_and_placer_raise_experiment_error():
+    with pytest.raises(ExperimentError):
+        get_scenario("does-not-exist")
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(scenarios=("smoke",), placers=("not-a-placer",))
+
+
+def test_unknown_scenario_param_raises_experiment_error():
+    with pytest.raises(ExperimentError):
+        get_scenario("smoke").build(seed=0, bogus_param=3)
+
+
+def test_config_validates_scenario_params_eagerly():
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(
+            scenarios=("smoke",), scenario_params={"smoke": {"n_vm": 4}}
+        )
+
+
+def test_scenario_builds_are_seed_reproducible():
+    first = get_scenario("smoke").build(seed=123)
+    second = get_scenario("smoke").build(seed=123)
+    assert [vm.host for vm in first.provider.vms()] == [
+        vm.host for vm in second.provider.vms()
+    ]
+    assert first.apps[0].transfers() == second.apps[0].transfers()
+
+
+# ------------------------------------------------------------------ seeding
+def test_trial_seed_is_stable_and_placer_independent():
+    seed = trial_seed(0, "smoke", 0)
+    assert seed == trial_seed(0, "smoke", 0)
+    assert seed != trial_seed(0, "smoke", 1)
+    assert seed != trial_seed(1, "smoke", 0)
+    # run_trial derives the same seed for every placer -> paired comparison.
+    greedy = run_trial("smoke", "greedy", 0, 0)
+    random_ = run_trial("smoke", "random", 0, 0)
+    assert greedy.seed == random_.seed
+
+
+def test_run_trial_captures_library_failures_as_error_records():
+    record = run_trial("smoke", "greedy", 0, 0, scenario_params={"n_vms": 1})
+    assert record.status == "error"
+    assert "ExperimentError" in record.error
+
+
+# ------------------------------------------------------------------- runner
+def test_serial_sweep_produces_speedup_summary(tmp_path):
+    config = ExperimentConfig(
+        scenarios=("smoke",), placers=("greedy",), trials=2, workers=1
+    )
+    result = ExperimentRunner(config).run()
+    # The baseline (random) is added to the grid automatically.
+    assert set(result.placers) == {"greedy", "random"}
+    assert len(result.records) == 4
+    assert all(rec.ok for rec in result.records)
+    greedy_records = result.ok_records("smoke", "greedy")
+    assert all(rec.measurement_overhead_s > 0 for rec in greedy_records)
+    assert all(rec.measurement_overhead_s == 0 for rec in result.ok_records("smoke", "random"))
+
+    summary = result.summary()
+    assert "speedup_vs_random" in summary["smoke"]["greedy"]
+    assert summary["smoke"]["greedy"]["trials_ok"] == 2
+
+    # JSON round trip.
+    path = result.save(tmp_path / "out.json")
+    loaded = ExperimentResult.from_json_dict(json.loads(path.read_text()))
+    assert loaded.record("smoke", "greedy", 0).seed == trial_seed(0, "smoke", 0)
+    assert loaded.summary()["smoke"]["greedy"]["trials_ok"] == 2
+
+
+def test_sequence_trial_placement_wall_excludes_simulation():
+    record = run_trial("multi-app-sequence", "greedy", 0, 0)
+    assert record.ok
+    assert 0 < record.placement_wall_s < record.trial_wall_s
+
+
+def test_speedups_drop_undefined_zero_baseline_trials():
+    def rec(placer, trial, total):
+        return TrialRecord(
+            scenario="s", placer=placer, trial=trial, seed=trial,
+            total_running_time_s=total,
+        )
+
+    result = ExperimentResult(
+        scenarios=["s"], placers=["round-robin", "random"], trials=2,
+        base_seed=0, baseline="random",
+        records=[
+            rec("random", 0, 0.0), rec("round-robin", 0, 2.0),  # -inf: dropped
+            rec("random", 1, 2.0), rec("round-robin", 1, 1.0),  # 0.5
+        ],
+    )
+    assert result.speedups_vs_baseline("s", "round-robin") == [0.5]
+    json.dumps(result.to_json_dict(), allow_nan=False)  # strict-JSON safe
+
+
+def test_parallel_sweep_matches_grid_and_runs_all_cells():
+    config = ExperimentConfig(
+        scenarios=("smoke", "all-to-all"),
+        placers=("greedy", "random"),
+        trials=1,
+        workers=2,
+    )
+    result = ExperimentRunner(config).run()
+    assert len(result.records) == 4
+    assert all(rec.ok for rec in result.records)
+    # Records come back sorted regardless of completion order.
+    keys = [(rec.scenario, rec.placer, rec.trial) for rec in result.records]
+    assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_list_json_names_every_scenario(capsys):
+    assert cli_main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [s["name"] for s in payload["scenarios"]] == scenario_names()
+    assert payload["placers"] == placer_names()
+
+
+def test_cli_run_writes_structured_results(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    code = cli_main(
+        ["run", "--scenario", "smoke", "--trials", "1",
+         "--placers", "greedy,random", "--output", str(out)]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == "repro.experiments/result/v1"
+    assert {rec["placer"] for rec in data["records"]} == {"greedy", "random"}
+    assert "speedup_vs_random" in data["summary"]["smoke"]["greedy"]
+    per_placer_times = {
+        rec["placer"]: rec["total_running_time_s"] for rec in data["records"]
+    }
+    assert all(time >= 0 for time in per_placer_times.values())
+
+
+def test_cli_run_rejects_unknown_scenario(capsys):
+    assert cli_main(["run", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_run_rejects_param_key_no_scenario_declares(capsys):
+    code = cli_main(["run", "--scenario", "smoke", "--param", "n_vmz=9"])
+    assert code == 2
+    assert "n_vmz" in capsys.readouterr().err
+
+
+def test_cli_run_exits_nonzero_when_trials_fail(tmp_path, capsys):
+    # n_vms=1 is below the scenario minimum, so every trial errors out.
+    out = tmp_path / "failed.json"
+    code = cli_main(
+        ["run", "--scenario", "smoke", "--trials", "1",
+         "--param", "n_vms=1", "--output", str(out)]
+    )
+    assert code == 1
+    assert "trial(s) failed" in capsys.readouterr().err
+    data = json.loads(out.read_text())
+    assert all(rec["status"] == "error" for rec in data["records"])
+
+
+def test_cli_bench_emits_machine_readable_summary(tmp_path, capsys):
+    out = tmp_path / "BENCH_experiments.json"
+    code = cli_main(
+        ["bench", "--scenarios", "smoke", "--trials", "1", "--output", str(out)]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.experiments/bench/v1"
+    assert payload["trials_ok"] == payload["trials_total"] == 2
+    assert payload["total_wall_s"] >= 0
+    assert "smoke" in payload["per_scenario"]

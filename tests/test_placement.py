@@ -1,0 +1,104 @@
+"""Placement tests: greedy vs brute-force agreement on tiny instances,
+colocation behaviour, and the error contract of the placers."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import estimate_completion_time
+from repro.core.network_profile import NetworkProfile
+from repro.core.placement.base import ClusterState, Machine, validate_placement
+from repro.core.placement.baselines import (
+    MinimumMachinesPlacer,
+    RandomPlacer,
+    RoundRobinPlacer,
+)
+from repro.core.placement.greedy import GreedyPlacer
+from repro.core.placement.ilp import BruteForcePlacer
+from repro.errors import PlacementError, ReproError
+from repro.units import GBITPS, GBYTE
+from repro.workloads.application import Application, Task, TrafficMatrix
+
+MACHINES = ["m1", "m2", "m3"]
+
+# Asymmetric pair rates: the m1->m2 path is by far the fastest.
+RATES = {
+    ("m1", "m2"): 1.0 * GBITPS, ("m2", "m1"): 1.0 * GBITPS,
+    ("m1", "m3"): 0.2 * GBITPS, ("m3", "m1"): 0.2 * GBITPS,
+    ("m2", "m3"): 0.1 * GBITPS, ("m3", "m2"): 0.1 * GBITPS,
+}
+
+
+def _profile(intra=math.inf) -> NetworkProfile:
+    return NetworkProfile(vms=MACHINES, rates_bps=dict(RATES), intra_vm_rate_bps=intra)
+
+
+def _cluster() -> ClusterState:
+    return ClusterState(machines=[Machine(m, cores=4.0) for m in MACHINES])
+
+
+def _pair_app(cpu=4.0) -> Application:
+    # Two tasks moving 1 GByte; cpu=4.0 fills a whole machine, so the pair
+    # cannot be colocated and the placer must pick the fastest path.
+    return Application(
+        name="pair",
+        tasks=[Task("a", cpu), Task("b", cpu)],
+        traffic=TrafficMatrix({("a", "b"): 1 * GBYTE}),
+    )
+
+
+def test_greedy_matches_brute_force_on_tiny_instance():
+    app, cluster, profile = _pair_app(), _cluster(), _profile()
+    greedy = GreedyPlacer(model="hose").place(app, cluster, profile)
+    brute = BruteForcePlacer(model="hose").place(app, cluster, profile)
+    t_greedy = estimate_completion_time(greedy.assignments, app, profile, model="hose")
+    t_brute = estimate_completion_time(brute.assignments, app, profile, model="hose")
+    assert t_greedy == pytest.approx(t_brute)
+    # Both must use the 1 Gbit/s pair: 1 GByte = 8 Gbit -> 8 seconds.
+    assert t_greedy == pytest.approx(8.0)
+    assert {greedy.machine_of("a"), greedy.machine_of("b")} == {"m1", "m2"}
+
+
+def test_greedy_colocates_heavy_pair_when_cpu_allows():
+    app = Application(
+        name="pair",
+        tasks=[Task("a", 1.0), Task("b", 1.0)],
+        traffic=TrafficMatrix({("a", "b"): 1 * GBYTE}),
+    )
+    placement = GreedyPlacer().place(app, _cluster(), _profile())
+    assert placement.machine_of("a") == placement.machine_of("b")
+
+
+def test_greedy_without_profile_raises_placement_error():
+    with pytest.raises(PlacementError):
+        GreedyPlacer().place(_pair_app(), _cluster(), None)
+
+
+def test_infeasible_app_raises_placement_error_not_valueerror():
+    too_big = Application(
+        name="big",
+        tasks=[Task(f"t{i}", 4.0) for i in range(4)],  # 16 cores > 12 available
+        traffic=TrafficMatrix(),
+    )
+    for placer in (GreedyPlacer(), RandomPlacer(seed=0), RoundRobinPlacer()):
+        with pytest.raises(PlacementError):
+            placer.place(too_big, _cluster(), _profile())
+    # The library error contract: everything derives from ReproError.
+    assert issubclass(PlacementError, ReproError)
+
+
+@pytest.mark.parametrize(
+    "placer",
+    [RandomPlacer(seed=7), RoundRobinPlacer(), MinimumMachinesPlacer()],
+    ids=["random", "round-robin", "min-machines"],
+)
+def test_baselines_produce_valid_cpu_respecting_placements(placer):
+    app = Application(
+        name="mix",
+        tasks=[Task("t0", 2.0), Task("t1", 2.0), Task("t2", 2.0),
+               Task("t3", 2.0), Task("t4", 2.0), Task("t5", 2.0)],
+        traffic=TrafficMatrix({("t0", "t1"): 1 * GBYTE}),
+    )
+    placement = placer.place(app, _cluster(), _profile())
+    validate_placement(placement, app, _cluster())  # raises on violation
+    assert set(placement.assignments) == set(app.task_names)
