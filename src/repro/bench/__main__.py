@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Runs the hot-path benchmark suite, prints the JSON report, and writes it to
+a ``BENCH_*.json`` file.  Exits with status 1 when any optimised path
+disagrees with its reference implementation — speed regressions are
+tracked, correctness regressions fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bench.benchmarks import bench_names, run_benchmarks
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description=(
+            "Hot-path benchmarks: incremental allocator, fluid event loop, "
+            "greedy rate table, batched measurement mesh, and the "
+            "experiments sweep end to end, each A/B'd against its "
+            "reference implementation."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small input sizes for CI smoke (correctness still verified)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help=f"comma-separated subset of benchmarks ({','.join(bench_names())})",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_hotpath.json",
+        help="where to write the JSON report ('' disables the file)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the suite; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    only = (
+        [name.strip() for name in args.only.split(",") if name.strip()]
+        if args.only
+        else None
+    )
+    try:
+        payload = run_benchmarks(quick=args.quick, seed=args.seed, only=only)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if not payload["all_matched"]:
+        mismatched = [
+            name
+            for name, entry in payload["benches"].items()
+            if not entry["matched"]
+        ]
+        print(
+            f"ERROR: optimised path(s) disagree with reference: {mismatched}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,26 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.network_profile import NetworkProfile
 from repro.core.placement.base import ClusterState, Placement, Placer, validate_placement
-from repro.core.rate_model import ConnectionLoad, effective_rate
+from repro.core.rate_model import ConnectionLoad, EffectiveRateTable, effective_rate
 from repro.errors import PlacementError
 from repro.workloads.application import Application
 
 _EPS = 1e-9
+
+_default_rate_cache = True
+
+
+def set_default_rate_cache(enabled: bool) -> bool:
+    """Default for ``GreedyPlacer(use_rate_cache=None)``; returns the old value.
+
+    Disabling it restores the pre-optimisation behaviour (every candidate's
+    :func:`~repro.core.rate_model.effective_rate` recomputed on every
+    transfer); the switch exists for A/B benchmarking and debugging.
+    """
+    global _default_rate_cache
+    previous = _default_rate_cache
+    _default_rate_cache = bool(enabled)
+    return previous
 
 
 class GreedyPlacer(Placer):
@@ -41,15 +56,29 @@ class GreedyPlacer(Placer):
         prefer_colocation: break rate ties in favour of placing both tasks
             on the same machine (intra-machine rates are typically infinite,
             so this only matters when the profile's intra-VM rate is finite).
+        use_rate_cache: keep candidate rates in an incrementally invalidated
+            :class:`~repro.core.rate_model.EffectiveRateTable` instead of
+            recomputing every candidate on every transfer.  ``None`` uses
+            the module default (see :func:`set_default_rate_cache`); the
+            placement is identical either way.
     """
 
     name = "choreo-greedy"
 
-    def __init__(self, model: str = "hose", prefer_colocation: bool = True):
+    def __init__(
+        self,
+        model: str = "hose",
+        prefer_colocation: bool = True,
+        use_rate_cache: Optional[bool] = None,
+    ):
         if model not in ("hose", "pipe"):
             raise PlacementError(f"unknown rate model {model!r}")
         self.model = model
         self.prefer_colocation = prefer_colocation
+        self.use_rate_cache = use_rate_cache
+        #: Hit/miss counters of the rate table used by the last
+        #: :meth:`place` call (None when the cache was disabled).
+        self.last_rate_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------ API
     def place(
@@ -72,6 +101,25 @@ class GreedyPlacer(Placer):
         assignments: Dict[str, str] = {}
         free_cpu = {m: cluster.available_cpu(m) for m in machines}
         load = ConnectionLoad()
+        use_cache = (
+            _default_rate_cache if self.use_rate_cache is None else self.use_rate_cache
+        )
+        table = (
+            EffectiveRateTable(profile, load, model=self.model) if use_cache else None
+        )
+
+        def rate_of(src_machine: str, dst_machine: str) -> float:
+            if table is not None:
+                return table.rate(src_machine, dst_machine)
+            return effective_rate(
+                profile, src_machine, dst_machine, load, model=self.model
+            )
+
+        def record_connection(src_machine: str, dst_machine: str) -> None:
+            if table is not None:
+                table.record(src_machine, dst_machine)
+            else:
+                load.add(src_machine, dst_machine)
 
         def cpu_fits(task_name: str, machine: str, pending_same: float = 0.0) -> bool:
             return app.cpu_demand(task_name) + pending_same <= free_cpu[machine] + _EPS
@@ -88,7 +136,7 @@ class GreedyPlacer(Placer):
             if src_placed is not None and dst_placed is not None:
                 # Both endpoints already pinned; just account for the
                 # connection so later rate estimates see it.
-                load.add(src_placed, dst_placed)
+                record_connection(src_placed, dst_placed)
                 continue
 
             candidates = self._candidate_paths(
@@ -101,13 +149,13 @@ class GreedyPlacer(Placer):
                     f"{src_task!r} -> {dst_task!r} of application {app.name!r}"
                 )
 
-            best = self._pick_best(candidates, profile, load)
+            best = self._pick_best(candidates, rate_of)
             src_machine, dst_machine = best
             if src_placed is None:
                 assign(src_task, src_machine)
             if dst_placed is None and dst_task not in assignments:
                 assign(dst_task, dst_machine)
-            load.add(src_machine, dst_machine)
+            record_connection(src_machine, dst_machine)
 
         # Tasks with no transfers at all: spread over the freest machines.
         for task in app.task_names:
@@ -121,6 +169,9 @@ class GreedyPlacer(Placer):
             choice = max(feasible, key=lambda m: (free_cpu[m], m))
             assign(task, choice)
 
+        self.last_rate_stats = (
+            {"hits": table.hits, "misses": table.misses} if table is not None else None
+        )
         placement = Placement(app_name=app.name, assignments=assignments)
         validate_placement(placement, app, cluster)
         return placement
@@ -139,12 +190,11 @@ class GreedyPlacer(Placer):
         """Lines 3-11: enumerate CPU-feasible candidate machine pairs."""
         candidates: List[Tuple[str, str]] = []
         if src_placed is not None:
-            # Source pinned: paths k -> N for all machines N (line 4).
+            # Source pinned: paths k -> N for all machines N (line 4); only
+            # the unplaced destination task consumes CPU, whether or not it
+            # colocates with the source.
             for dst_machine in machines:
-                if src_placed == dst_machine:
-                    if cpu_fits(dst_task, dst_machine):
-                        candidates.append((src_placed, dst_machine))
-                elif cpu_fits(dst_task, dst_machine):
+                if cpu_fits(dst_task, dst_machine):
                     candidates.append((src_placed, dst_machine))
         elif dst_placed is not None:
             # Destination pinned: paths M -> l for all machines M (line 6).
@@ -153,28 +203,30 @@ class GreedyPlacer(Placer):
                     candidates.append((src_machine, dst_placed))
         else:
             # Neither pinned: all machine pairs, including same-machine
-            # placements (lines 7-8).
+            # placements (lines 7-8).  Colocation must fit *both* tasks'
+            # CPU demand on the one machine.
             for src_machine in machines:
                 for dst_machine in machines:
                     if src_machine == dst_machine:
-                        demand = app.cpu_demand(src_task) + app.cpu_demand(dst_task)
-                        if cpu_fits(src_task, src_machine, pending_same=app.cpu_demand(dst_task)):
+                        both_fit = cpu_fits(
+                            src_task, src_machine,
+                            pending_same=app.cpu_demand(dst_task),
+                        )
+                        if both_fit:
                             candidates.append((src_machine, dst_machine))
-                    else:
-                        if cpu_fits(src_task, src_machine) and cpu_fits(dst_task, dst_machine):
-                            candidates.append((src_machine, dst_machine))
+                    elif cpu_fits(src_task, src_machine) and cpu_fits(dst_task, dst_machine):
+                        candidates.append((src_machine, dst_machine))
         return candidates
 
     def _pick_best(
         self,
         candidates: List[Tuple[str, str]],
-        profile: NetworkProfile,
-        load: ConnectionLoad,
+        rate_of,
     ) -> Tuple[str, str]:
         """Lines 12-14: choose the candidate path with the highest rate."""
         def sort_key(pair: Tuple[str, str]):
             src, dst = pair
-            rate = effective_rate(profile, src, dst, load, model=self.model)
+            rate = rate_of(src, dst)
             colocated = 1 if (self.prefer_colocation and src == dst) else 0
             # Highest rate first, then colocation, then deterministic names.
             return (-rate, -colocated, src, dst)

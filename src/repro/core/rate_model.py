@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.network_profile import NetworkProfile
 from repro.errors import PlacementError
@@ -90,3 +90,65 @@ def effective_rate(
     if math.isinf(single):
         return single
     return single * (cross + 1.0) / (cross + 1.0 + existing)
+
+
+class EffectiveRateTable:
+    """Incrementally maintained :func:`effective_rate` cache for one round.
+
+    The greedy placer evaluates candidate machine pairs over and over while
+    the :class:`ConnectionLoad` grows one connection at a time.  Under the
+    hose model a placed connection only changes the rates of paths sharing
+    its *source* machine; under the pipe model only the rates of its exact
+    ordered path.  This table caches every computed rate and invalidates
+    precisely the entries a new connection affects, so repeated candidate
+    scans stop recomputing rates whose inputs did not change.
+
+    The table owns the bookkeeping: call :meth:`record` (instead of mutating
+    the load directly) whenever a connection is placed.
+    """
+
+    def __init__(
+        self,
+        profile: NetworkProfile,
+        load: ConnectionLoad,
+        model: str = "hose",
+    ) -> None:
+        if model not in ("hose", "pipe"):
+            raise PlacementError(f"unknown rate model {model!r}")
+        self.profile = profile
+        self.load = load
+        self.model = model
+        self.hits = 0
+        self.misses = 0
+        self._cache: Dict[Tuple[str, str], float] = {}
+        # Cache keys grouped by source machine, for hose-model invalidation.
+        self._by_source: Dict[str, List[Tuple[str, str]]] = {}
+
+    def rate(self, src_machine: str, dst_machine: str) -> float:
+        """Cached :func:`effective_rate` for the candidate pair."""
+        key = (src_machine, dst_machine)
+        value = self._cache.get(key)
+        if value is None:
+            self.misses += 1
+            value = effective_rate(
+                self.profile, src_machine, dst_machine, self.load, model=self.model
+            )
+            self._cache[key] = value
+            # Intra-machine rates never depend on the load, so only network
+            # paths need to be tracked for invalidation.
+            if src_machine != dst_machine and self.model == "hose":
+                self._by_source.setdefault(src_machine, []).append(key)
+        else:
+            self.hits += 1
+        return value
+
+    def record(self, src_machine: str, dst_machine: str) -> None:
+        """Account for a newly placed connection and invalidate stale rates."""
+        self.load.add(src_machine, dst_machine)
+        if src_machine == dst_machine:
+            return  # intra-machine transfers use no network egress
+        if self.model == "hose":
+            for key in self._by_source.pop(src_machine, ()):
+                self._cache.pop(key, None)
+        else:
+            self._cache.pop((src_machine, dst_machine), None)

@@ -15,6 +15,7 @@ and the run reproducible regardless of scheduling order.
 
 from __future__ import annotations
 
+import copy
 import time
 import zlib
 from concurrent import futures
@@ -218,26 +219,57 @@ class ExperimentRunner:
             for trial in range(self.config.trials)
         ]
 
+    def _cell_key(self, scenario: str, placer: str, trial: int) -> Tuple:
+        """Memoization key: everything that determines a trial's outcome.
+
+        Two cells with the same ``(scenario, params, placer, trial, seed)``
+        run the identical simulation, so repeated grid cells — e.g. a
+        baseline listed twice, or duplicated scenario entries — are
+        simulated once per run and their records reused (the first step of
+        the ROADMAP's result caching).  The trial index stays in the key so
+        distinct trials can never merge through a CRC32 seed collision.
+        """
+        params = self.config.scenario_params.get(scenario) or {}
+        params_key = tuple(sorted((str(k), repr(v)) for k, v in params.items()))
+        seed = trial_seed(self.config.base_seed, scenario, trial)
+        return (scenario, params_key, placer, trial, seed)
+
     def run(self) -> ExperimentResult:
         """Run every cell and return the aggregated result."""
         config = self.config
         cells = self.cells()
+        unique: Dict[Tuple, Tuple[str, str, int]] = {}
+        for cell in cells:
+            unique.setdefault(self._cell_key(*cell), cell)
+        work = list(unique.items())
+
         workers = config.workers
         if workers is None:
             import os
 
-            workers = max(1, min(len(cells), os.cpu_count() or 1))
+            workers = max(1, min(len(work), os.cpu_count() or 1))
 
         if workers == 1:
-            records = [
-                run_trial(
+            memo = {
+                key: run_trial(
                     scenario, placer, trial, config.base_seed,
                     config.scenario_params.get(scenario),
                 )
-                for scenario, placer, trial in cells
-            ]
+                for key, (scenario, placer, trial) in work
+            }
         else:
-            records = self._run_parallel(cells, workers)
+            memo = self._run_parallel(work, workers)
+
+        records: List[TrialRecord] = []
+        seen: set = set()
+        for cell in cells:
+            key = self._cell_key(*cell)
+            record = memo[key]
+            if key in seen:
+                # A reused record: hand out an independent copy.
+                record = copy.deepcopy(record)
+            seen.add(key)
+            records.append(record)
 
         records.sort(key=lambda rec: (rec.scenario, rec.placer, rec.trial))
         return ExperimentResult(
@@ -250,18 +282,20 @@ class ExperimentRunner:
         )
 
     def _run_parallel(
-        self, cells: Sequence[Tuple[str, str, int]], workers: int
-    ) -> List[TrialRecord]:
+        self,
+        work: Sequence[Tuple[Tuple, Tuple[str, str, int]]],
+        workers: int,
+    ) -> Dict[Tuple, TrialRecord]:
         config = self.config
-        records: List[TrialRecord] = []
+        memo: Dict[Tuple, TrialRecord] = {}
         with futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            pending: Dict[futures.Future, Tuple[str, str, int]] = {
+            pending: Dict[futures.Future, Tuple] = {
                 pool.submit(
                     run_trial, scenario, placer, trial, config.base_seed,
                     config.scenario_params.get(scenario),
-                ): (scenario, placer, trial)
-                for scenario, placer, trial in cells
+                ): key
+                for key, (scenario, placer, trial) in work
             }
             for future in futures.as_completed(pending):
-                records.append(future.result())
-        return records
+                memo[pending[future]] = future.result()
+        return memo

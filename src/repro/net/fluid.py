@@ -19,6 +19,7 @@ timeline for every flow.  Those timelines power:
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 import math
@@ -26,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.net.alloc import IncrementalAllocator
 from repro.net.fairness import FlowDemand, max_min_allocation
 from repro.net.flows import Flow, FlowState
 from repro.net.hose import HoseModel
@@ -58,15 +60,30 @@ class RateSegment:
 
 
 class RateTimeline:
-    """Piece-wise constant history of a single flow's rate."""
+    """Piece-wise constant history of a single flow's rate.
+
+    Segments are appended in chronological order (the fluid simulator emits
+    them event by event), so lookups bisect on segment start times instead
+    of scanning — timelines grow long in bursty scenarios.
+    """
 
     def __init__(self) -> None:
         self.segments: List[RateSegment] = []
+        self._starts: List[float] = []
 
     def append(self, start: float, end: float, rate_bps: float) -> None:
-        """Record one constant-rate interval (zero-length intervals ignored)."""
+        """Record one constant-rate interval (zero-length intervals ignored).
+
+        Raises:
+            SimulationError: if ``start`` precedes the last recorded segment
+                (segments must arrive in chronological order).
+        """
         if end - start <= _TIME_EPS:
             return
+        if self._starts and start < self._starts[-1] - _TIME_EPS:
+            raise SimulationError(
+                "rate segments must be appended in chronological order"
+            )
         # Merge with the previous segment if the rate did not change.
         if (
             self.segments
@@ -76,6 +93,7 @@ class RateTimeline:
             self.segments[-1].end = end
             return
         self.segments.append(RateSegment(start, end, rate_bps))
+        self._starts.append(start)
 
     @property
     def start_time(self) -> Optional[float]:
@@ -87,7 +105,9 @@ class RateTimeline:
 
     def rate_at(self, t: float) -> float:
         """Rate at time ``t`` (0 outside the flow's active intervals)."""
-        for segment in self.segments:
+        i = bisect.bisect_right(self._starts, t) - 1
+        if i >= 0:
+            segment = self.segments[i]
             if segment.start <= t < segment.end:
                 return segment.rate_bps
         return 0.0
@@ -97,7 +117,12 @@ class RateTimeline:
         if end <= start:
             raise SimulationError("average_rate needs end > start")
         moved_bits = 0.0
-        for segment in self.segments:
+        # First segment that can overlap [start, end): the one covering
+        # ``start``, or the first one starting after it.
+        i = max(0, bisect.bisect_right(self._starts, start) - 1)
+        for segment in self.segments[i:]:
+            if segment.start >= end:
+                break
             lo = max(start, segment.start)
             hi = min(end, segment.end)
             if hi > lo:
@@ -157,6 +182,31 @@ class FluidResult:
         return max(self.completion_time(fid) for fid in ids)
 
 
+#: Allocator implementations :class:`FluidSimulation` can use.
+ALLOCATOR_INCREMENTAL = "incremental"
+ALLOCATOR_REFERENCE = "reference"
+
+_default_allocator = ALLOCATOR_INCREMENTAL
+
+
+def set_default_allocator(name: str) -> str:
+    """Set the allocator new simulations default to; returns the previous one.
+
+    ``"incremental"`` (the default) re-solves through
+    :class:`~repro.net.alloc.IncrementalAllocator`; ``"reference"`` calls
+    :func:`~repro.net.fairness.max_min_allocation` from scratch at every
+    event, exactly as the pre-optimisation code did.  The switch exists for
+    A/B benchmarking (``python -m repro.bench``) and for debugging the
+    incremental engine.
+    """
+    global _default_allocator
+    if name not in (ALLOCATOR_INCREMENTAL, ALLOCATOR_REFERENCE):
+        raise SimulationError(f"unknown allocator {name!r}")
+    previous = _default_allocator
+    _default_allocator = name
+    return previous
+
+
 class FluidSimulation:
     """Max-min fair, event-driven flow-level simulator.
 
@@ -168,6 +218,8 @@ class FluidSimulation:
         extra_capacities: additional *virtual* links (e.g. per-VM hose links
             when several VMs share a physical host); flows traverse them via
             the ``extra_links`` argument of :meth:`add_flow`.
+        allocator: ``"incremental"`` or ``"reference"``; ``None`` uses the
+            module default (see :func:`set_default_allocator`).
     """
 
     def __init__(
@@ -176,6 +228,7 @@ class FluidSimulation:
         hose: Optional[HoseModel] = None,
         capacity_overrides: Optional[Mapping[str, float]] = None,
         extra_capacities: Optional[Mapping[str, float]] = None,
+        allocator: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.hose = hose
@@ -202,6 +255,11 @@ class FluidSimulation:
                         f"extra capacity for {link_id!r} must be positive"
                     )
                 self._capacities[link_id] = cap
+        if allocator is None:
+            allocator = _default_allocator
+        if allocator not in (ALLOCATOR_INCREMENTAL, ALLOCATOR_REFERENCE):
+            raise SimulationError(f"unknown allocator {allocator!r}")
+        self._allocator_mode = allocator
         self._flows: Dict[str, Flow] = {}
         self._demands: Dict[str, FlowDemand] = {}
 
@@ -265,7 +323,16 @@ class FluidSimulation:
 
         pending = sorted(flows.values(), key=lambda f: (f.start_time, f.flow_id))
         pending_idx = 0
-        active: Dict[str, Flow] = {}
+        n_pending = len(pending)
+        # Finite and unbounded flows take different paths through every scan
+        # below, so keep them apart (unbounded flows always carry an
+        # end_time — Flow validates that — which is all the loop needs).
+        active_finite: Dict[str, Flow] = {}
+        active_unbounded: Dict[str, float] = {}
+        incremental: Optional[IncrementalAllocator] = None
+        if self._allocator_mode == ALLOCATOR_INCREMENTAL:
+            incremental = IncrementalAllocator(self._capacities)
+        inf = math.inf
 
         # Zero-byte flows complete instantly at their start time.
         now = min((f.start_time for f in flows.values()), default=0.0)
@@ -273,81 +340,117 @@ class FluidSimulation:
 
         while True:
             # Activate flows whose start time has arrived.
-            while pending_idx < len(pending) and pending[pending_idx].start_time <= now + _TIME_EPS:
+            while pending_idx < n_pending and pending[pending_idx].start_time <= now + _TIME_EPS:
                 flow = pending[pending_idx]
                 pending_idx += 1
-                if not flow.is_unbounded and remaining[flow.flow_id] <= _BYTE_EPS:
-                    completion[flow.flow_id] = flow.start_time
-                    states[flow.flow_id] = FlowState.COMPLETED
-                    continue
-                if flow.is_unbounded and flow.end_time is not None and flow.end_time <= flow.start_time + _TIME_EPS:
-                    states[flow.flow_id] = FlowState.STOPPED
-                    continue
-                active[flow.flow_id] = flow
-                states[flow.flow_id] = FlowState.ACTIVE
+                fid = flow.flow_id
+                if flow.is_unbounded:
+                    if flow.end_time <= flow.start_time + _TIME_EPS:
+                        states[fid] = FlowState.STOPPED
+                        continue
+                    active_unbounded[fid] = flow.end_time
+                else:
+                    if remaining[fid] <= _BYTE_EPS:
+                        completion[fid] = flow.start_time
+                        states[fid] = FlowState.COMPLETED
+                        continue
+                    active_finite[fid] = flow
+                states[fid] = FlowState.ACTIVE
+                if incremental is not None:
+                    incremental.add_demand(fid, self._demands[fid])
 
-            if not active and pending_idx >= len(pending):
+            if not active_finite and not active_unbounded and pending_idx >= n_pending:
                 end_time = now
                 break
             if until is not None and now >= until - _TIME_EPS:
                 end_time = until
                 break
 
-            # Allocate rates for the active flows.
-            rates = max_min_allocation(
-                {fid: self._demands[fid] for fid in active}, self._capacities
-            )
+            # Allocate rates for the active flows.  The incremental engine
+            # only re-solves when the active set changed since the last
+            # allocation; the reference path recomputes from scratch.
+            if incremental is not None:
+                rates = incremental.solve()
+            else:
+                demands = self._demands
+                active_demands = {fid: demands[fid] for fid in active_finite}
+                for fid in active_unbounded:
+                    active_demands[fid] = demands[fid]
+                rates = max_min_allocation(active_demands, self._capacities)
 
             # Time of the next event.
-            next_time = math.inf
-            if pending_idx < len(pending):
-                next_time = min(next_time, pending[pending_idx].start_time)
-            for fid, flow in active.items():
+            next_time = inf
+            finish_at: Dict[str, float] = {}
+            if pending_idx < n_pending:
+                next_time = pending[pending_idx].start_time
+            if active_unbounded:
+                next_time = min(next_time, min(active_unbounded.values()))
+            for fid in active_finite:
                 rate = rates[fid]
-                if flow.is_unbounded:
-                    if flow.end_time is not None:
-                        next_time = min(next_time, flow.end_time)
-                else:
-                    if math.isinf(rate):
-                        next_time = now  # completes immediately
-                    elif rate > 0:
-                        finish = now + remaining[fid] * BITS_PER_BYTE / rate
-                        next_time = min(next_time, finish)
-            if until is not None:
-                next_time = min(next_time, until)
+                if rate == inf:
+                    next_time = now  # completes immediately
+                    finish_at[fid] = now
+                elif rate > 0:
+                    finish = now + remaining[fid] * BITS_PER_BYTE / rate
+                    finish_at[fid] = finish
+                    if finish < next_time:
+                        next_time = finish
+            if until is not None and until < next_time:
+                next_time = until
 
-            if math.isinf(next_time):
+            if next_time == inf:
                 raise SimulationError(
                     "simulation stalled: active flows receive zero rate and "
                     "no further events are scheduled"
                 )
-            next_time = max(next_time, now)
+            if next_time < now:
+                next_time = now
 
             # Advance to next_time, recording rate segments and draining bytes.
             dt = next_time - now
-            for fid, flow in list(active.items()):
+            for fid in active_unbounded:
+                timelines[fid].append(now, next_time, rates[fid])
+            for fid in active_finite:
                 rate = rates[fid]
                 timelines[fid].append(now, next_time, rate)
-                if not flow.is_unbounded:
-                    if math.isinf(rate):
-                        remaining[fid] = 0.0
-                    else:
-                        remaining[fid] = max(
-                            0.0, remaining[fid] - rate * dt / BITS_PER_BYTE
-                        )
+                if rate == inf:
+                    remaining[fid] = 0.0
+                elif rate > 0:
+                    drained = remaining[fid] - rate * dt / BITS_PER_BYTE
+                    remaining[fid] = drained if drained > 0.0 else 0.0
+
+            # A flow whose projected finish coincides with this event has
+            # drained: force its residue to zero.  Without this, rounding in
+            # ``remaining -= rate * dt`` can leave a few bytes' residue whose
+            # refill step is below the ulp of ``now``, so ``dt`` collapses to
+            # zero and the loop livelocks (Zeno steps) on long simulations.
+            for fid, finish in finish_at.items():
+                if finish <= next_time + _TIME_EPS and fid in active_finite:
+                    remaining[fid] = 0.0
 
             now = next_time
             end_time = now
 
             # Retire flows that completed or were switched off at ``now``.
-            for fid, flow in list(active.items()):
-                if not flow.is_unbounded and remaining[fid] <= _BYTE_EPS:
-                    completion[fid] = now
-                    states[fid] = FlowState.COMPLETED
-                    del active[fid]
-                elif flow.is_unbounded and flow.end_time is not None and flow.end_time <= now + _TIME_EPS:
-                    states[fid] = FlowState.STOPPED
-                    del active[fid]
+            completed = [
+                fid for fid in active_finite if remaining[fid] <= _BYTE_EPS
+            ]
+            for fid in completed:
+                completion[fid] = now
+                states[fid] = FlowState.COMPLETED
+                del active_finite[fid]
+                if incremental is not None:
+                    incremental.remove_flow(fid)
+            stopped = [
+                fid
+                for fid, stop_at in active_unbounded.items()
+                if stop_at <= now + _TIME_EPS
+            ]
+            for fid in stopped:
+                states[fid] = FlowState.STOPPED
+                del active_unbounded[fid]
+                if incremental is not None:
+                    incremental.remove_flow(fid)
 
             if until is not None and now >= until - _TIME_EPS:
                 end_time = until

@@ -232,53 +232,73 @@ def send_packet_train(
     fast_rate = min(model.line_rate_bps, model.unlimited_rate_bps)
     send_clock = 0.0
     limiter = model.limiter
+    burst_bytes = spec.burst_bytes
+    burst_length = spec.burst_length
+    packet_bits = spec.packet_size_bytes * BITS_PER_BYTE
+    base_delay = model.base_delay_s
+    jitter_std = model.jitter_std_s
+    loss_rate = model.loss_rate
+    emit_time = burst_bytes * BITS_PER_BYTE / model.line_rate_bps
+    step = emit_time + spec.inter_burst_gap_s
+    if limiter is None:
+        # Lossless paths without a limiter (the common EC2-style mesh) serve
+        # every burst identically, so hoist the per-burst drain.
+        fixed_drain = burst_bytes * BITS_PER_BYTE / fast_rate
+    # Draw the per-burst jitter in one vectorised call when no other RNG
+    # consumer interleaves (loss draws happen between jitter draws); numpy
+    # Generators fill arrays from the same stream as repeated scalar draws,
+    # so the observations are bit-identical either way.
+    jitter_draws = None
+    if jitter_std > 0 and loss_rate == 0:
+        jitter_draws = np.abs(rng.normal(0.0, jitter_std, size=2 * spec.n_bursts))
+    bursts = observation.bursts
 
-    for _ in range(spec.n_bursts):
-        burst_bytes = spec.burst_bytes
-        packet_bits = spec.packet_size_bytes * BITS_PER_BYTE
-
+    for burst_no in range(spec.n_bursts):
         # Time for the whole burst to drain through the path.
         if limiter is not None:
             drain = limiter.drain_time(burst_bytes, fast_rate)
         else:
-            drain = burst_bytes * BITS_PER_BYTE / fast_rate
+            drain = fixed_drain
 
         # The first packet arrives after its own serialisation at the rate
         # it was served with (fast if tokens were available).
         initial_rate = fast_rate
         if limiter is not None and limiter.depth_bytes < spec.packet_size_bytes:
             initial_rate = min(fast_rate, limiter.rate_bps)
-        first_rx = send_clock + model.base_delay_s + packet_bits / initial_rate
-        last_rx = send_clock + model.base_delay_s + drain
+        first_rx = send_clock + base_delay + packet_bits / initial_rate
+        last_rx = send_clock + base_delay + drain
 
         # Packet loss: drop each packet independently.
-        lost = int(rng.binomial(spec.burst_length, model.loss_rate)) if model.loss_rate > 0 else 0
-        n_received = spec.burst_length - lost
-        first_index, last_index = 0, spec.burst_length - 1
+        lost = int(rng.binomial(burst_length, loss_rate)) if loss_rate > 0 else 0
+        n_received = burst_length - lost
+        first_index, last_index = 0, burst_length - 1
         if lost > 0 and n_received > 0:
             # Choose which positions were lost to know whether the edges moved.
             lost_positions = set(
-                rng.choice(spec.burst_length, size=lost, replace=False).tolist()
+                rng.choice(burst_length, size=lost, replace=False).tolist()
             )
             received_positions = [
-                i for i in range(spec.burst_length) if i not in lost_positions
+                i for i in range(burst_length) if i not in lost_positions
             ]
             first_index, last_index = received_positions[0], received_positions[-1]
-            per_packet = (last_rx - first_rx) / max(spec.burst_length - 1, 1)
+            per_packet = (last_rx - first_rx) / max(burst_length - 1, 1)
             first_rx += per_packet * first_index
-            last_rx -= per_packet * (spec.burst_length - 1 - last_index)
+            last_rx -= per_packet * (burst_length - 1 - last_index)
 
         # Kernel timestamping / VM scheduling jitter.
-        if model.jitter_std_s > 0:
-            first_rx += abs(float(rng.normal(0.0, model.jitter_std_s))) * 0.1
-            last_rx += abs(float(rng.normal(0.0, model.jitter_std_s)))
+        if jitter_draws is not None:
+            first_rx += float(jitter_draws[2 * burst_no]) * 0.1
+            last_rx += float(jitter_draws[2 * burst_no + 1])
+        elif jitter_std > 0:
+            first_rx += abs(float(rng.normal(0.0, jitter_std))) * 0.1
+            last_rx += abs(float(rng.normal(0.0, jitter_std)))
         if last_rx <= first_rx:
             last_rx = first_rx + packet_bits / fast_rate
 
         if n_received > 0:
-            observation.bursts.append(
+            bursts.append(
                 BurstObservation(
-                    n_sent=spec.burst_length,
+                    n_sent=burst_length,
                     n_received=n_received,
                     first_rx_time=first_rx,
                     last_rx_time=last_rx,
@@ -289,10 +309,9 @@ def send_packet_train(
 
         # Advance the sender clock: the burst is emitted at line rate, then
         # the inter-burst gap elapses (during which the limiter refills).
-        emit_time = burst_bytes * BITS_PER_BYTE / model.line_rate_bps
-        send_clock += emit_time + spec.inter_burst_gap_s
+        send_clock += step
         if limiter is not None:
-            limiter.refill(emit_time + spec.inter_burst_gap_s)
+            limiter.refill(step)
 
     observation.send_duration_s = send_clock
     return observation

@@ -39,6 +39,48 @@ from repro.net.links import (
 from repro.units import GBITPS
 
 
+# ---------------------------------------------------------------------------
+# Process-wide routing cache
+# ---------------------------------------------------------------------------
+# ECMP path choices depend only on the graph *structure* (edges) and the
+# endpoint pair, not on capacities or on which Topology instance asked.
+# Experiment sweeps rebuild structurally identical topologies for every
+# trial, so path computations are shared process-wide, keyed by a structure
+# token.  The cache is bounded: it is simply dropped when it grows past
+# _ROUTE_CACHE_MAX_ENTRIES (sweeps revisit far fewer distinct pairs).
+_ROUTE_CACHE_MAX_ENTRIES = 262_144
+_route_cache: Dict[Tuple[str, str, str], List[str]] = {}
+_route_cache_enabled = True
+_route_cache_hits = 0
+_route_cache_misses = 0
+
+
+def set_route_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable the shared routing cache; returns the previous state."""
+    global _route_cache_enabled
+    previous = _route_cache_enabled
+    _route_cache_enabled = bool(enabled)
+    return previous
+
+
+def clear_route_cache() -> None:
+    """Drop every entry (and reset the counters) of the shared routing cache."""
+    global _route_cache_hits, _route_cache_misses
+    _route_cache.clear()
+    _route_cache_hits = 0
+    _route_cache_misses = 0
+
+
+def route_cache_info() -> Dict[str, int]:
+    """Counters for the shared routing cache (entries, hits, misses)."""
+    return {
+        "entries": len(_route_cache),
+        "hits": _route_cache_hits,
+        "misses": _route_cache_misses,
+        "enabled": int(_route_cache_enabled),
+    }
+
+
 class NodeKind(enum.Enum):
     """Role of a node in the datacenter tree."""
 
@@ -103,6 +145,8 @@ class Topology:
         self._links: Dict[str, Link] = {}
         self._intra_host_bps = intra_host_bps
         self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+        self._path_links_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._structure_token: Optional[str] = None
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, name: str, kind: NodeKind, level: int = 0) -> None:
@@ -152,6 +196,8 @@ class Topology:
             )
             self._links[link.link_id] = link
         self._path_cache.clear()
+        self._path_links_cache.clear()
+        self._structure_token = None
 
     # ------------------------------------------------------------ inspection
     def node_kind(self, name: str) -> NodeKind:
@@ -245,6 +291,20 @@ class Topology:
         return sub_a is not None and sub_a == sub_b
 
     # ----------------------------------------------------------------- paths
+    def structure_token(self) -> str:
+        """A digest identifying the graph's structure (its edge set).
+
+        Routing decisions depend only on this token, so structurally
+        identical topologies (every trial of a sweep rebuilds the same tree)
+        share the process-wide routing cache.
+        """
+        if self._structure_token is None:
+            edge_text = "\n".join(
+                sorted(f"{min(a, b)}|{max(a, b)}" for a, b in self.graph.edges())
+            )
+            self._structure_token = hashlib.sha256(edge_text.encode()).hexdigest()
+        return self._structure_token
+
     def node_path(self, src: str, dst: str) -> List[str]:
         """Shortest node path from ``src`` to ``dst`` (inclusive).
 
@@ -253,6 +313,7 @@ class Topology:
         the same pair always uses the same path, different pairs spread over
         the available cores.
         """
+        global _route_cache_hits, _route_cache_misses
         if src == dst:
             return [src]
         key = (src, dst)
@@ -262,6 +323,15 @@ class Topology:
         for node in (src, dst):
             if node not in self.graph:
                 raise TopologyError(f"unknown node {node!r}")
+        shared_key = None
+        if _route_cache_enabled:
+            shared_key = (self.structure_token(), src, dst)
+            shared = _route_cache.get(shared_key)
+            if shared is not None:
+                _route_cache_hits += 1
+                self._path_cache[key] = shared
+                return shared
+            _route_cache_misses += 1
         try:
             paths = sorted(nx.all_shortest_paths(self.graph, src, dst))
         except nx.NetworkXNoPath as exc:
@@ -269,22 +339,34 @@ class Topology:
         digest = hashlib.sha256(f"{src}|{dst}".encode()).digest()
         choice = paths[int.from_bytes(digest[:4], "big") % len(paths)]
         self._path_cache[key] = choice
+        if shared_key is not None:
+            if len(_route_cache) >= _ROUTE_CACHE_MAX_ENTRIES:
+                _route_cache.clear()
+            _route_cache[shared_key] = choice
         return choice
 
     def path_links(self, src: str, dst: str) -> List[Link]:
         """Directed links traversed from ``src`` to ``dst``.
 
         Intra-host traffic (``src == dst``) traverses only the host's
-        loopback link.
+        loopback link.  The returned list is memoized per endpoint pair —
+        callers must not mutate it.
         """
+        key = (src, dst)
+        cached = self._path_links_cache.get(key)
+        if cached is not None:
+            return cached
         if src == dst:
             if self.node_kind(src) is not NodeKind.HOST:
                 raise RoutingError(f"loopback path requires a host, got {src!r}")
-            return [self.link(loopback_link_id(src))]
-        nodes = self.node_path(src, dst)
-        return [
-            self.link(directed_link_id(a, b)) for a, b in zip(nodes, nodes[1:])
-        ]
+            links = [self.link(loopback_link_id(src))]
+        else:
+            nodes = self.node_path(src, dst)
+            links = [
+                self.link(directed_link_id(a, b)) for a, b in zip(nodes, nodes[1:])
+            ]
+        self._path_links_cache[key] = links
+        return links
 
     def hop_count(self, src: str, dst: str) -> int:
         """Hop count between two hosts, using the paper's convention.
