@@ -26,6 +26,7 @@ from repro.bench.benchmarks import (
     bench_fluid,
     bench_greedy,
     bench_mesh,
+    bench_sweep_resume,
     run_benchmarks,
 )
 from repro.bench.modes import reference_mode
@@ -36,6 +37,7 @@ __all__ = [
     "bench_fluid",
     "bench_greedy",
     "bench_mesh",
+    "bench_sweep_resume",
     "reference_mode",
     "run_benchmarks",
 ]

@@ -8,22 +8,38 @@ comparison a first-class, runnable artifact:
   scenarios composing the workload generator, synthetic providers, and the
   placement stack;
 * :mod:`repro.experiments.placers` — the placement-algorithm grid;
-* :mod:`repro.experiments.runner` — parallel sweeps over
-  scenario x placer x trial with per-trial seeding;
+* :mod:`repro.experiments.trials` — the unit of work: one seeded
+  (scenario, placer, trial) cell, picklable and JSON-serialisable;
+* :mod:`repro.experiments.backends` — pluggable execution backends
+  (``inline``, ``process``, ``subprocess-pool``) behind a registry;
+* :mod:`repro.experiments.cache` — the persistent content-addressed
+  result store, keyed by (scenario, params, placer, trial, seed,
+  code_version);
+* :mod:`repro.experiments.runner` — grid construction, cache lookup,
+  backend dispatch, and assembly;
 * :mod:`repro.experiments.results` — structured JSON results with
   speedup-over-baseline summaries (the Figure-9-style comparison);
 * :mod:`repro.experiments.cli` — ``python -m repro.experiments``.
 """
 
+from repro.experiments.backends import (
+    BackendSpec,
+    ExecutionBackend,
+    backend_names,
+    create_backend,
+    get_backend,
+    register_backend,
+)
+from repro.experiments.cache import CacheKey, ResultStore, code_version, tree_digest
 from repro.experiments.placers import PlacerSpec, get_placer, placer_names
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.runner import (
     DEFAULT_PLACERS,
     ExperimentConfig,
     ExperimentRunner,
-    run_trial,
-    trial_seed,
+    RunStats,
 )
+from repro.experiments.trials import WorkItem, run_trial, trial_seed
 from repro.experiments.scenarios import (
     MODE_BATCH,
     MODE_SEQUENCE,
@@ -38,6 +54,16 @@ from repro.experiments.scenarios import (
 )
 
 __all__ = [
+    "BackendSpec",
+    "ExecutionBackend",
+    "backend_names",
+    "create_backend",
+    "get_backend",
+    "register_backend",
+    "CacheKey",
+    "ResultStore",
+    "code_version",
+    "tree_digest",
     "PlacerSpec",
     "get_placer",
     "placer_names",
@@ -46,6 +72,8 @@ __all__ = [
     "DEFAULT_PLACERS",
     "ExperimentConfig",
     "ExperimentRunner",
+    "RunStats",
+    "WorkItem",
     "run_trial",
     "trial_seed",
     "MODE_BATCH",

@@ -1,0 +1,326 @@
+"""Pluggable execution backends for experiment sweeps.
+
+The runner used to hard-code its execution strategy (run inline, or fan out
+over a ``ProcessPoolExecutor``).  This module turns that strategy into a
+seam: an :class:`ExecutionBackend` maps :class:`~repro.experiments.trials.WorkItem`
+batches to :class:`~repro.experiments.results.TrialRecord` lists, and
+backends are registered by name so configs, the CLI, and result files can
+address them as data.
+
+Three backends ship in-tree:
+
+* ``inline`` — run every trial in the current process (deterministic
+  debugging default);
+* ``process`` — fan out over a ``ProcessPoolExecutor`` (the strategy
+  formerly hard-coded in the runner);
+* ``subprocess-pool`` — split the batch into chunks and spawn one fresh
+  ``python -m repro.experiments.backends`` worker process per chunk,
+  exchanging JSON files.  Nothing in the protocol assumes a shared
+  interpreter (or even a shared machine): the worker reads named work items
+  and writes plain-JSON records, which is the stepping stone to running
+  chunks over ssh on a multi-machine pool.
+
+Every backend must return records in the order of its input items, and a
+backend given the same items must produce the same records (modulo host
+wall-clock timings) — the equivalence tests hold all three to that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from concurrent import futures
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ExperimentError
+from repro.experiments.results import TrialRecord
+from repro.experiments.trials import WorkItem, execute_work_item
+
+#: Wire-format schema the subprocess worker speaks.
+WORKER_SCHEMA = "repro.experiments/worker/v1"
+
+DEFAULT_BACKEND = "inline"
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Executes picklable work items; how and where is the backend's business."""
+
+    name: str
+
+    def submit(self, item: WorkItem) -> TrialRecord:
+        """Run a single work item."""
+        ...
+
+    def map_trials(self, items: Sequence[WorkItem]) -> List[TrialRecord]:
+        """Run a batch; the result order matches the input order."""
+        ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A registered execution backend: metadata plus a factory.
+
+    The factory takes the worker-count hint (``None`` = size to the batch,
+    capped at the CPU count) and returns a ready :class:`ExecutionBackend`.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[Optional[int]], ExecutionBackend]
+
+
+_BACKENDS: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> BackendSpec:
+    """Register a backend spec; duplicate names raise :class:`ExperimentError`."""
+    if spec.name in _BACKENDS:
+        raise ExperimentError(f"backend {spec.name!r} is already registered")
+    _BACKENDS[spec.name] = spec
+    return spec
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up a backend spec by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from exc
+
+
+def backend_names() -> List[str]:
+    """All registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def create_backend(name: str, workers: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate a registered backend with a worker-count hint."""
+    return get_backend(name).factory(workers)
+
+
+def _resolve_workers(workers: Optional[int], n_items: int) -> int:
+    if workers is not None:
+        return max(1, workers)
+    return max(1, min(n_items, os.cpu_count() or 1))
+
+
+# ---------------------------------------------------------------------------
+# inline
+# ---------------------------------------------------------------------------
+class InlineBackend:
+    """Run every trial in the current process, one after another."""
+
+    name = "inline"
+
+    def submit(self, item: WorkItem) -> TrialRecord:
+        return execute_work_item(item)
+
+    def map_trials(self, items: Sequence[WorkItem]) -> List[TrialRecord]:
+        return [execute_work_item(item) for item in items]
+
+
+# ---------------------------------------------------------------------------
+# process
+# ---------------------------------------------------------------------------
+class ProcessPoolBackend:
+    """Fan trials out over a ``concurrent.futures.ProcessPoolExecutor``."""
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers
+
+    def submit(self, item: WorkItem) -> TrialRecord:
+        return self.map_trials([item])[0]
+
+    def map_trials(self, items: Sequence[WorkItem]) -> List[TrialRecord]:
+        if not items:
+            return []
+        workers = _resolve_workers(self.workers, len(items))
+        if workers == 1:
+            return InlineBackend().map_trials(items)
+        records: List[Optional[TrialRecord]] = [None] * len(items)
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(execute_work_item, item): index
+                for index, item in enumerate(items)
+            }
+            for future in futures.as_completed(pending):
+                records[pending[future]] = future.result()
+        return records  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# subprocess-pool
+# ---------------------------------------------------------------------------
+def _worker_env() -> Dict[str, str]:
+    """Child env with the parent's ``repro`` package importable.
+
+    Test runs import ``repro`` from a source checkout via ``sys.path`` (not
+    the environment), so the parent's import location is prepended to the
+    child's ``PYTHONPATH`` explicitly.
+    """
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def _split_chunks(items: Sequence[WorkItem], n_chunks: int) -> List[List[int]]:
+    """Round-robin item indices into ``n_chunks`` non-empty chunks."""
+    chunks: List[List[int]] = [[] for _ in range(min(n_chunks, len(items)))]
+    for index in range(len(items)):
+        chunks[index % len(chunks)].append(index)
+    return chunks
+
+
+class SubprocessPoolBackend:
+    """Spawn one fresh worker process per chunk of the batch.
+
+    Unlike ``process``, workers share nothing with the parent but a JSON
+    file pair, so the same protocol can dispatch chunks to remote machines.
+    The price is a cold interpreter start per chunk, which amortises over
+    chunk size — exactly the trade a multi-machine pool makes.
+    """
+
+    name = "subprocess-pool"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers
+
+    def submit(self, item: WorkItem) -> TrialRecord:
+        return self.map_trials([item])[0]
+
+    def map_trials(self, items: Sequence[WorkItem]) -> List[TrialRecord]:
+        if not items:
+            return []
+        chunks = _split_chunks(items, _resolve_workers(self.workers, len(items)))
+        records: List[Optional[TrialRecord]] = [None] * len(items)
+        with tempfile.TemporaryDirectory(prefix="repro-subproc-") as tmp:
+            env = _worker_env()
+            procs: List[subprocess.Popen] = []
+            out_paths: List[Path] = []
+            for chunk_no, indices in enumerate(chunks):
+                in_path = Path(tmp) / f"chunk{chunk_no}.in.json"
+                out_path = Path(tmp) / f"chunk{chunk_no}.out.json"
+                in_path.write_text(
+                    json.dumps(
+                        {
+                            "schema": WORKER_SCHEMA,
+                            "items": [
+                                items[i].to_json_dict() for i in indices
+                            ],
+                        }
+                    )
+                )
+                procs.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable, "-m", "repro.experiments.backends",
+                            str(in_path), str(out_path),
+                        ],
+                        env=env,
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    )
+                )
+                out_paths.append(out_path)
+            # Reap every worker before judging any of them: raising early
+            # would orphan still-running siblings and delete the tempdir
+            # from under them.
+            stderrs = [proc.communicate()[1] for proc in procs]
+            for chunk_no, (proc, indices) in enumerate(zip(procs, chunks)):
+                if proc.returncode != 0:
+                    raise ExperimentError(
+                        f"subprocess-pool worker {chunk_no} exited with "
+                        f"status {proc.returncode}: "
+                        f"{stderrs[chunk_no].strip()[-2000:]}"
+                    )
+                payload = json.loads(out_paths[chunk_no].read_text())
+                chunk_records = [
+                    TrialRecord(**rec) for rec in payload["records"]
+                ]
+                if len(chunk_records) != len(indices):
+                    raise ExperimentError(
+                        f"subprocess-pool worker {chunk_no} returned "
+                        f"{len(chunk_records)} record(s) for {len(indices)} item(s)"
+                    )
+                for index, record in zip(indices, chunk_records):
+                    records[index] = record
+        return records  # type: ignore[return-value]
+
+
+def worker_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of one subprocess-pool worker.
+
+    ``python -m repro.experiments.backends IN.json OUT.json`` reads a chunk
+    of work items from ``IN.json``, runs them inline, and writes their
+    records to ``OUT.json``.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.experiments.backends IN.json OUT.json",
+            file=sys.stderr,
+        )
+        return 2
+    in_path, out_path = Path(argv[0]), Path(argv[1])
+    payload = json.loads(in_path.read_text())
+    if payload.get("schema") != WORKER_SCHEMA:
+        print(f"unexpected work-item schema {payload.get('schema')!r}", file=sys.stderr)
+        return 2
+    items = [WorkItem.from_json_dict(data) for data in payload["items"]]
+    records = [execute_work_item(item) for item in items]
+    out_path.write_text(
+        json.dumps(
+            {"schema": WORKER_SCHEMA, "records": [asdict(rec) for rec in records]}
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# registry entries
+# ---------------------------------------------------------------------------
+register_backend(
+    BackendSpec(
+        name="inline",
+        description="Run every trial in the current process (deterministic default).",
+        factory=lambda workers: InlineBackend(),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="process",
+        description="Fan trials out over a local ProcessPoolExecutor.",
+        factory=lambda workers: ProcessPoolBackend(workers=workers),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="subprocess-pool",
+        description=(
+            "Spawn a fresh worker process per chunk, exchanging JSON "
+            "(the stepping stone to multi-machine pools)."
+        ),
+        factory=lambda workers: SubprocessPoolBackend(workers=workers),
+    )
+)
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

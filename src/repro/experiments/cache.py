@@ -1,0 +1,265 @@
+"""Persistent content-addressed result store for experiment sweeps.
+
+The runner memoizes repeated grid cells within one run, but that memo dies
+with the process, so a grown grid re-pays every cell on every invocation.
+:class:`ResultStore` keeps trial records on disk instead, keyed by
+*everything that determines a trial's outcome*:
+
+``(scenario, params, placer, trial, seed, code_version)``
+
+where ``code_version`` is a digest of the installed ``repro`` source tree.
+Change any source file and every key changes, so a store can never serve
+results computed by different code — stale cells are simply never addressed
+again (and :meth:`ResultStore.prune_stale` reclaims their disk space).
+
+Layout: one JSON file per cell, addressed by the SHA-256 of the canonical
+JSON encoding of the key::
+
+    <root>/<code_version[:16]>/<digest[:2]>/<digest>.json
+
+Each file carries the full key next to the record, so a hash collision (or
+a corrupted file) is detected on read and treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.experiments.results import TrialRecord
+
+#: Schema tag written into every cell file.
+CACHE_SCHEMA = "repro.experiments/cache/v1"
+
+
+# ---------------------------------------------------------------------------
+# Code-version digest
+# ---------------------------------------------------------------------------
+def tree_digest(root: Union[str, Path]) -> str:
+    """SHA-256 over the relative paths and contents of a source tree.
+
+    Only ``*.py`` files count: bytecode caches, editor droppings, and result
+    files must not invalidate the store.
+    """
+    root = Path(root)
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the installed ``repro`` package source (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        _CODE_VERSION = tree_digest(Path(repro.__file__).resolve().parent)
+    return _CODE_VERSION
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything that determines one trial's outcome."""
+
+    scenario: str
+    params: Tuple[Tuple[str, object], ...]
+    placer: str
+    trial: int
+    seed: int
+    code_version: str
+
+    @classmethod
+    def make(
+        cls,
+        scenario: str,
+        placer: str,
+        trial: int,
+        seed: int,
+        params: Optional[Mapping[str, object]] = None,
+        version: Optional[str] = None,
+    ) -> "CacheKey":
+        return cls(
+            scenario=scenario,
+            params=tuple(sorted((params or {}).items())),
+            placer=placer,
+            trial=trial,
+            seed=seed,
+            code_version=version if version is not None else code_version(),
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "params": {key: value for key, value in self.params},
+            "placer": self.placer,
+            "trial": self.trial,
+            "seed": self.seed,
+            "code_version": self.code_version,
+        }
+
+    def digest(self) -> str:
+        """Content address: SHA-256 of the canonical JSON encoding."""
+        canonical = json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":"),
+            default=repr,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+class ResultStore:
+    """Disk-backed content-addressed store of trial records.
+
+    Args:
+        root: directory holding the store (created on first write).
+        version: the code version new keys default to; omit for the digest
+            of the installed ``repro`` tree.  Tests inject explicit tokens
+            to exercise invalidation without editing source files.
+    """
+
+    def __init__(self, root: Union[str, Path], version: Optional[str] = None):
+        self.root = Path(root)
+        self.version = version if version is not None else code_version()
+        self._stats = {"hits": 0, "misses": 0, "stored": 0, "invalidated": 0}
+
+    # ------------------------------------------------------------- addressing
+    def key_for(
+        self,
+        scenario: str,
+        placer: str,
+        trial: int,
+        seed: int,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> CacheKey:
+        """A :class:`CacheKey` bound to this store's code version."""
+        return CacheKey.make(
+            scenario, placer, trial, seed, params=params, version=self.version
+        )
+
+    def _path(self, key: CacheKey) -> Path:
+        digest = key.digest()
+        return self.root / key.code_version[:16] / digest[:2] / f"{digest}.json"
+
+    # ---------------------------------------------------------------- access
+    def get(self, key: CacheKey) -> Optional[TrialRecord]:
+        """The stored record for ``key``, or ``None`` (counted as a miss).
+
+        A cell file that fails to parse, carries the wrong schema, or whose
+        embedded key disagrees with ``key`` (hash collision) is removed and
+        counted under ``invalidated``.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self._stats["misses"] += 1
+            return None
+        # ValueError covers JSONDecodeError and UnicodeDecodeError alike.
+        except (OSError, ValueError):
+            self._invalidate(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA
+            or payload.get("key") != json.loads(json.dumps(key.to_json_dict(), default=repr))
+        ):
+            self._invalidate(path)
+            return None
+        try:
+            record = TrialRecord(**payload["record"])
+        except (KeyError, TypeError):
+            self._invalidate(path)
+            return None
+        self._stats["hits"] += 1
+        return record
+
+    def put(self, key: CacheKey, record: TrialRecord) -> Path:
+        """Store ``record`` under ``key`` (atomic write-then-rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key.to_json_dict(),
+            "record": asdict(record),
+        }
+        text = json.dumps(payload, sort_keys=True, default=repr)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._stats["stored"] += 1
+        return path
+
+    def _invalidate(self, path: Path) -> None:
+        self._stats["misses"] += 1
+        self._stats["invalidated"] += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------ maintenance
+    def prune_stale(self) -> int:
+        """Drop every cell written under a different code version.
+
+        This is the store's eviction policy: old-version cells can never be
+        addressed again (their keys embed the old digest), so reclaiming
+        them is always safe.  Returns the number of cells removed.
+        """
+        removed = 0
+        current = self.version[:16]
+        if not self.root.is_dir():
+            return 0
+        for version_dir in self.root.iterdir():
+            if not version_dir.is_dir() or version_dir.name == current:
+                continue
+            removed += sum(1 for _ in version_dir.rglob("*.json"))
+            # rmtree, not per-cell unlink: stale dirs may also hold .tmp
+            # droppings from writes interrupted mid-put.
+            shutil.rmtree(version_dir, ignore_errors=True)
+        self._stats["invalidated"] += removed
+        return removed
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters: ``hits``, ``misses``, ``stored``, ``invalidated``."""
+        return dict(self._stats)
+
+    def __len__(self) -> int:
+        """Cells stored under the *current* code version."""
+        version_dir = self.root / self.version[:16]
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.rglob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore(root={str(self.root)!r}, "
+            f"version={self.version[:16]!r}, cells={len(self)})"
+        )

@@ -19,6 +19,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError, ReproError
+from repro.experiments.backends import backend_names
 from repro.experiments.placers import placer_names
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import (
@@ -89,6 +90,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes (0 = one per grid cell, capped at CPU count)",
     )
+    run_cmd.add_argument(
+        "--backend", default=None, choices=backend_names(), metavar="NAME",
+        help=(
+            "execution backend "
+            f"({', '.join(backend_names())}; default: inline for --workers 1, "
+            "process otherwise)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "persistent result store: trials already computed there (by this "
+            "exact code version) are not re-executed"
+        ),
+    )
+    run_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir and execute every trial",
+    )
     run_cmd.add_argument("--baseline", default="random")
     run_cmd.add_argument(
         "--output", default="experiment_results.json",
@@ -132,6 +152,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 for spec in specs
             ],
             "placers": placer_names(),
+            "backends": backend_names(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -144,6 +165,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
             print(f"      params: {rendered}")
     print(f"placers: {', '.join(placer_names())}")
+    print(f"backends: {', '.join(backend_names())}")
     return 0
 
 
@@ -155,6 +177,8 @@ def _make_config(
     workers: int,
     baseline: str,
     param_items: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentConfig:
     placers = tuple(name.strip() for name in placers_csv.split(",") if name.strip())
     overrides = _parse_params(param_items)
@@ -181,6 +205,8 @@ def _make_config(
         base_seed=seed,
         baseline=baseline,
         workers=None if workers == 0 else workers,
+        backend=backend,
+        cache_dir=cache_dir,
         scenario_params=scenario_params,
     )
 
@@ -211,10 +237,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _make_config(
         scenarios, args.placers, args.trials, args.seed, args.workers,
         args.baseline, args.param,
+        backend=args.backend,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
-    result = ExperimentRunner(config).run()
+    runner = ExperimentRunner(config)
+    result = runner.run()
     path = result.save(args.output)
     _print_run_summary(result)
+    stats = runner.last_stats
+    line = f"backend {stats.backend}: executed {stats.executed} trial(s)"
+    if config.cache_dir:
+        line += f", {stats.cache_hits} cache hit(s) from {config.cache_dir}"
+    print(line)
     failed = [rec for rec in result.records if not rec.ok]
     print(f"wrote {len(result.records)} trial record(s) to {path}")
     if failed:

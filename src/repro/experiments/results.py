@@ -10,14 +10,19 @@ full grid, computes the Figure-9-style speedup-over-baseline summaries via
 
 from __future__ import annotations
 
+import copy
 import json
 import math
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.runtime.metrics import relative_speedup, speedup_summary
+
+#: Record fields measuring *host* wall clock — nondeterministic across runs,
+#: machines, and backends, unlike the modeled (simulated) quantities.
+HOST_TIMING_FIELDS = ("trial_wall_s", "placement_wall_s")
 
 
 @dataclass
@@ -108,7 +113,16 @@ class ExperimentResult:
         the same trial (same seed, hence the same network and applications).
         Trials whose speedup is undefined (a zero-duration baseline against a
         nonzero competitor yields ``-inf``) are dropped so summaries and
-        their JSON serialisation stay finite.
+        their JSON serialisation stay finite; :meth:`summary` surfaces how
+        many were dropped per cell.
+        """
+        return self._paired_speedups(scenario, placer)[0]
+
+    def _paired_speedups(self, scenario: str, placer: str) -> Tuple[List[float], int]:
+        """Finite per-trial speedups plus the count of ok trials dropped.
+
+        A trial is dropped when its baseline pair is missing (the baseline
+        errored on that seed) or when the speedup is non-finite.
         """
         if self.baseline not in self.placers:
             raise ExperimentError(
@@ -116,16 +130,20 @@ class ExperimentResult:
             )
         base = {rec.trial: rec for rec in self.ok_records(scenario, self.baseline)}
         speedups: List[float] = []
+        dropped = 0
         for rec in self.ok_records(scenario, placer):
             ref = base.get(rec.trial)
             if ref is None:
+                dropped += 1
                 continue
             speedup = relative_speedup(
                 ref.total_running_time_s, rec.total_running_time_s
             )
             if math.isfinite(speedup):
                 speedups.append(speedup)
-        return speedups
+            else:
+                dropped += 1
+        return speedups, dropped
 
     def summary(self) -> dict:
         """Per-(scenario, placer) aggregate timings and speedup summaries."""
@@ -159,7 +177,10 @@ class ExperimentResult:
                         }
                     )
                 if placer != self.baseline:
-                    speedups = self.speedups_vs_baseline(scenario, placer)
+                    speedups, dropped = self._paired_speedups(scenario, placer)
+                    # A dropped trial silently thins the speedup sample;
+                    # surface the count so thinner summaries are visible.
+                    cell["dropped_trials"] = dropped
                     if speedups:
                         cell["speedup_vs_" + self.baseline] = speedup_summary(
                             speedups
@@ -181,6 +202,20 @@ class ExperimentResult:
             "records": [asdict(rec) for rec in self.records],
             "summary": self.summary(),
         }
+
+    def canonical_json_dict(self) -> dict:
+        """:meth:`to_json_dict` with host wall-clock fields zeroed.
+
+        Modeled quantities (running times, makespans, measurement overhead,
+        bytes) are deterministic functions of the config, but host timings
+        vary run to run.  Backend-equivalence checks compare this form: two
+        backends agree iff their canonical dicts are bit-identical.
+        """
+        clone = copy.deepcopy(self)
+        for rec in clone.records:
+            for field_name in HOST_TIMING_FIELDS:
+                setattr(rec, field_name, 0.0)
+        return clone.to_json_dict()
 
     def save(self, path) -> Path:
         """Write the result to ``path`` as indented JSON."""

@@ -1,51 +1,37 @@
-"""Parallel experiment runner: sweep scenario x placer x trial grids.
+"""Experiment runner: grid construction, cache lookup, dispatch, assembly.
 
-One *trial* re-creates a scenario from a derived seed, runs one placer on
-it, executes the resulting placement on the provider's fluid simulator, and
-records the timings into a :class:`~repro.experiments.results.TrialRecord`.
-The per-trial seed depends only on ``(base_seed, scenario, trial)`` — not on
-the placer — so every placer faces the *same* ground-truth network and
-applications and per-trial speedups are paired comparisons, as in §6.
-
-Trials are independent, so the runner fans them out over a
-:class:`concurrent.futures.ProcessPoolExecutor`; everything a worker needs
-is named (scenario name, placer name, seed), making the work items picklable
-and the run reproducible regardless of scheduling order.
+The runner owns *what* to run — the scenario x placer x trial grid — and
+delegates *how* to run it to a named
+:class:`~repro.experiments.backends.ExecutionBackend` (``inline``,
+``process``, ``subprocess-pool``, ...).  Before dispatching, it consults an
+optional persistent :class:`~repro.experiments.cache.ResultStore`, so
+re-running a grown grid only executes cells that are new (or whose code
+changed).  Trial execution itself lives in :mod:`repro.experiments.trials`.
 """
 
 from __future__ import annotations
 
 import copy
-import time
-import zlib
-from concurrent import futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.core.measurement.orchestrator import MeasurementPlan, NetworkMeasurer
-from repro.core.network_profile import NetworkProfile
-from repro.errors import ExperimentError, ReproError
+from repro.errors import ExperimentError
+from repro.experiments.backends import (
+    DEFAULT_BACKEND,
+    create_backend,
+    get_backend,
+)
+from repro.experiments.cache import ResultStore
 from repro.experiments.placers import get_placer
 from repro.experiments.results import ExperimentResult, TrialRecord
-from repro.experiments.scenarios import (
-    MODE_SEQUENCE,
-    ScenarioInstance,
-    get_scenario,
+from repro.experiments.scenarios import get_scenario
+from repro.experiments.trials import (  # noqa: F401  (re-exported API)
+    WorkItem,
+    run_trial,
+    trial_seed,
 )
-from repro.runtime.executor import run_applications
-from repro.runtime.sequence import SequentialPlacementRunner
 
 DEFAULT_PLACERS: Tuple[str, ...] = ("greedy", "random", "round-robin")
-
-
-def trial_seed(base_seed: int, scenario_name: str, trial: int) -> int:
-    """Deterministic per-trial seed, independent of the placer.
-
-    Uses CRC32 (stable across processes and Python versions, unlike
-    ``hash``) so parallel workers derive identical seeds.
-    """
-    key = f"{base_seed}:{scenario_name}:{trial}".encode()
-    return zlib.crc32(key)
 
 
 @dataclass(frozen=True)
@@ -59,8 +45,14 @@ class ExperimentConfig:
         base_seed: root seed the per-trial seeds derive from.
         baseline: placer the speedups are computed against; it is added to
             the grid automatically when missing.
-        workers: worker processes; ``1`` runs inline (no pool), ``None``
-            sizes the pool to the grid (capped at the CPU count).
+        workers: worker-count hint for the backend; ``None`` sizes the pool
+            to the grid (capped at the CPU count).
+        backend: registered execution-backend name; ``None`` picks
+            ``inline`` for ``workers == 1`` and ``process`` otherwise,
+            preserving the pre-backend behaviour.
+        cache_dir: directory of a persistent
+            :class:`~repro.experiments.cache.ResultStore`; ``None`` disables
+            the cross-run cache (within-run memoization always applies).
         scenario_params: per-scenario builder parameter overrides.
     """
 
@@ -70,6 +62,8 @@ class ExperimentConfig:
     base_seed: int = 0
     baseline: str = "random"
     workers: Optional[int] = 1
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
     scenario_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -79,13 +73,26 @@ class ExperimentConfig:
             raise ExperimentError("trials must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise ExperimentError("workers must be >= 1 (or None for auto)")
+        if self.backend is not None:
+            get_backend(self.backend)  # fail fast on typos
         for name in self.placers:
-            get_placer(name)  # fail fast on typos
+            get_placer(name)
         get_placer(self.baseline)
         for name in self.scenarios:
             get_scenario(name)
         for name, params in self.scenario_params.items():
             get_scenario(name).validate_params(params)
+            for key, value in params.items():
+                # JSON scalars only: anything richer would round-trip
+                # differently through the subprocess wire format (tuple ->
+                # list) and break the backends' bit-identical guarantee.
+                if not isinstance(value, (type(None), bool, int, float, str)):
+                    raise ExperimentError(
+                        f"scenario_params[{name!r}][{key!r}] is "
+                        f"{type(value).__name__}; parameter values must be "
+                        "JSON scalars (None/bool/int/float/str) so every "
+                        "backend and the result store key them identically"
+                    )
 
     @property
     def effective_placers(self) -> Tuple[str, ...]:
@@ -94,121 +101,54 @@ class ExperimentConfig:
             return self.placers
         return self.placers + (self.baseline,)
 
+    @property
+    def effective_backend(self) -> str:
+        """The backend name after applying the historical default."""
+        if self.backend is not None:
+            return self.backend
+        return DEFAULT_BACKEND if self.workers == 1 else "process"
 
-def run_trial(
-    scenario_name: str,
-    placer_name: str,
-    trial: int,
-    base_seed: int,
-    scenario_params: Optional[Mapping[str, object]] = None,
-) -> TrialRecord:
-    """Run one grid cell and return its record.
 
-    Library failures (:class:`ReproError`) are captured in the record so one
-    infeasible trial cannot sink a whole sweep; programming errors propagate.
+@dataclass(frozen=True)
+class RunStats:
+    """How the last :meth:`ExperimentRunner.run` obtained its records.
+
+    ``cells`` counts grid cells, ``unique_cells`` the distinct simulations
+    among them, ``cache_hits`` the unique cells served by the persistent
+    store, and ``executed`` the unique cells the backend actually ran.
     """
-    seed = trial_seed(base_seed, scenario_name, trial)
-    record = TrialRecord(
-        scenario=scenario_name, placer=placer_name, trial=trial, seed=seed
-    )
-    started = time.perf_counter()
-    try:
-        spec = get_scenario(scenario_name)
-        instance = spec.build(seed=seed, **dict(scenario_params or {}))
-        record.n_apps = len(instance.apps)
-        record.n_vms = len(instance.cluster.machines)
-        if instance.mode == MODE_SEQUENCE:
-            _run_sequence_trial(instance, placer_name, seed, record)
-        else:
-            _run_batch_trial(instance, placer_name, seed, record)
-    except ReproError as exc:
-        record.status = "error"
-        record.error = f"{type(exc).__name__}: {exc}"
-    record.trial_wall_s = time.perf_counter() - started
-    return record
 
+    backend: str
+    cells: int
+    unique_cells: int
+    executed: int
+    cache_hits: int
 
-def _measurement_plan() -> MeasurementPlan:
-    # The paper's comparison charges the same measurement time to every
-    # scheme rather than letting campaigns advance the clock mid-trial.
-    return MeasurementPlan(advance_clock=False)
-
-
-def _run_batch_trial(
-    instance: ScenarioInstance, placer_name: str, seed: int, record: TrialRecord
-) -> None:
-    """Place every application at time zero and run them together."""
-    placer_spec = get_placer(placer_name)
-    placer = placer_spec.factory(seed)
-    provider, cluster = instance.provider, instance.cluster
-
-    place_started = time.perf_counter()
-    profile: Optional[NetworkProfile] = None
-    if placer_spec.needs_profile:
-        measurer = NetworkMeasurer(provider, plan=_measurement_plan())
-        profile = measurer.measure(
-            cluster.machine_names(), background=instance.background
-        )
-        record.measurement_overhead_s = profile.measurement_duration_s
-
-    placements = {}
-    state = cluster
-    for app in instance.apps:
-        placement = placer.place(app, state, profile)
-        placements[app.name] = placement
-        state = state.with_usage(placement.cpu_usage(app))
-    record.placement_wall_s = time.perf_counter() - place_started
-
-    runs = run_applications(
-        provider,
-        placements=placements,
-        apps=instance.apps,
-        start_times={app.name: 0.0 for app in instance.apps},
-        background=instance.background,
-    )
-    _fill_run_metrics(record, runs.values())
-
-
-def _run_sequence_trial(
-    instance: ScenarioInstance, placer_name: str, seed: int, record: TrialRecord
-) -> None:
-    """Replay the §2.4 arrival sequence with the placer under test."""
-    placer_spec = get_placer(placer_name)
-    placer = placer_spec.factory(seed)
-    runner = SequentialPlacementRunner(
-        instance.provider,
-        instance.cluster,
-        placer,
-        measurement=_measurement_plan(),
-        measure_network=placer_spec.needs_profile,
-        background=instance.background,
-    )
-    result = runner.run(instance.apps)
-    record.placement_wall_s = result.placement_wall_s
-    record.measurement_overhead_s = sum(
-        profile.measurement_duration_s
-        for profile in result.profiles.values()
-        if profile is not None
-    )
-    _fill_run_metrics(record, result.runs.values())
-
-
-def _fill_run_metrics(record: TrialRecord, runs) -> None:
-    runs = list(runs)
-    record.per_app_duration_s = {run.app_name: run.duration for run in runs}
-    record.total_running_time_s = sum(run.duration for run in runs)
-    record.makespan_s = max(run.completion_time for run in runs) - min(
-        run.start_time for run in runs
-    )
-    record.network_bytes = sum(run.network_bytes for run in runs)
-    record.colocated_bytes = sum(run.colocated_bytes for run in runs)
+    def to_json_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "cells": self.cells,
+            "unique_cells": self.unique_cells,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+        }
 
 
 class ExperimentRunner:
-    """Executes a sweep grid, in parallel when asked to."""
+    """Executes a sweep grid through a backend, reusing cached results.
 
-    def __init__(self, config: ExperimentConfig):
+    Args:
+        config: the grid and execution settings.
+        store: a ready :class:`ResultStore`; omitted, one is opened at
+            ``config.cache_dir`` when set (no store, no cross-run caching).
+    """
+
+    def __init__(self, config: ExperimentConfig, store: Optional[ResultStore] = None):
         self.config = config
+        if store is None and config.cache_dir:
+            store = ResultStore(config.cache_dir)
+        self.store = store
+        self.last_stats: Optional[RunStats] = None
 
     def cells(self) -> List[Tuple[str, str, int]]:
         """The grid as ``(scenario, placer, trial)`` work items."""
@@ -219,15 +159,22 @@ class ExperimentRunner:
             for trial in range(self.config.trials)
         ]
 
+    def _work_item(self, scenario: str, placer: str, trial: int) -> WorkItem:
+        return WorkItem.make(
+            scenario, placer, trial, self.config.base_seed,
+            self.config.scenario_params.get(scenario),
+        )
+
     def _cell_key(self, scenario: str, placer: str, trial: int) -> Tuple:
-        """Memoization key: everything that determines a trial's outcome.
+        """Within-run memoization key: everything that determines a trial.
 
         Two cells with the same ``(scenario, params, placer, trial, seed)``
         run the identical simulation, so repeated grid cells — e.g. a
         baseline listed twice, or duplicated scenario entries — are
-        simulated once per run and their records reused (the first step of
-        the ROADMAP's result caching).  The trial index stays in the key so
-        distinct trials can never merge through a CRC32 seed collision.
+        simulated once per run and their records reused.  The trial index
+        stays in the key so distinct trials can never merge through a CRC32
+        seed collision.  (The *persistent* key additionally embeds the code
+        version; see :mod:`repro.experiments.cache`.)
         """
         params = self.config.scenario_params.get(scenario) or {}
         params_key = tuple(sorted((str(k), repr(v)) for k, v in params.items()))
@@ -235,32 +182,47 @@ class ExperimentRunner:
         return (scenario, params_key, placer, trial, seed)
 
     def run(self) -> ExperimentResult:
-        """Run every cell and return the aggregated result."""
+        """Run every cell and return the aggregated result.
+
+        Grid construction — dedupe repeated cells, then split the unique
+        ones into cache hits and work for the backend; assembly — map the
+        records back onto the full grid in a deterministic order.
+        """
         config = self.config
         cells = self.cells()
         unique: Dict[Tuple, Tuple[str, str, int]] = {}
         for cell in cells:
             unique.setdefault(self._cell_key(*cell), cell)
-        work = list(unique.items())
 
-        workers = config.workers
-        if workers is None:
-            import os
+        memo: Dict[Tuple, TrialRecord] = {}
+        pending: List[Tuple[Tuple, WorkItem]] = []
+        for key, cell in unique.items():
+            item = self._work_item(*cell)
+            cached = (
+                self.store.get(self._store_key(item)) if self.store else None
+            )
+            if cached is not None:
+                memo[key] = cached
+            else:
+                pending.append((key, item))
 
-            workers = max(1, min(len(work), os.cpu_count() or 1))
+        if pending:
+            backend = create_backend(config.effective_backend, workers=config.workers)
+            records = backend.map_trials([item for _, item in pending])
+            for (key, item), record in zip(pending, records):
+                memo[key] = record
+                if self.store is not None:
+                    self.store.put(self._store_key(item), record)
 
-        if workers == 1:
-            memo = {
-                key: run_trial(
-                    scenario, placer, trial, config.base_seed,
-                    config.scenario_params.get(scenario),
-                )
-                for key, (scenario, placer, trial) in work
-            }
-        else:
-            memo = self._run_parallel(work, workers)
+        self.last_stats = RunStats(
+            backend=config.effective_backend,
+            cells=len(cells),
+            unique_cells=len(unique),
+            executed=len(pending),
+            cache_hits=len(unique) - len(pending),
+        )
 
-        records: List[TrialRecord] = []
+        records_out: List[TrialRecord] = []
         seen: set = set()
         for cell in cells:
             key = self._cell_key(*cell)
@@ -269,33 +231,21 @@ class ExperimentRunner:
                 # A reused record: hand out an independent copy.
                 record = copy.deepcopy(record)
             seen.add(key)
-            records.append(record)
+            records_out.append(record)
 
-        records.sort(key=lambda rec: (rec.scenario, rec.placer, rec.trial))
+        records_out.sort(key=lambda rec: (rec.scenario, rec.placer, rec.trial))
         return ExperimentResult(
             scenarios=list(config.scenarios),
             placers=list(config.effective_placers),
             trials=config.trials,
             base_seed=config.base_seed,
             baseline=config.baseline,
-            records=records,
+            records=records_out,
         )
 
-    def _run_parallel(
-        self,
-        work: Sequence[Tuple[Tuple, Tuple[str, str, int]]],
-        workers: int,
-    ) -> Dict[Tuple, TrialRecord]:
-        config = self.config
-        memo: Dict[Tuple, TrialRecord] = {}
-        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            pending: Dict[futures.Future, Tuple] = {
-                pool.submit(
-                    run_trial, scenario, placer, trial, config.base_seed,
-                    config.scenario_params.get(scenario),
-                ): key
-                for key, (scenario, placer, trial) in work
-            }
-            for future in futures.as_completed(pending):
-                memo[pending[future]] = future.result()
-        return memo
+    def _store_key(self, item: WorkItem):
+        assert self.store is not None
+        return self.store.key_for(
+            item.scenario, item.placer, item.trial, item.seed,
+            params=dict(item.params),
+        )

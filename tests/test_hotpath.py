@@ -417,16 +417,16 @@ class TestBatchedMeasurementMesh:
 
 class TestRunnerTrialMemoization:
     def test_duplicate_cells_simulated_once(self, monkeypatch):
-        import repro.experiments.runner as runner_mod
+        import repro.experiments.trials as trials_mod
 
         calls = []
-        original = runner_mod.run_trial
+        original = trials_mod.run_trial
 
         def counting(scenario, placer, trial, base_seed, params=None):
             calls.append((scenario, placer, trial))
             return original(scenario, placer, trial, base_seed, params)
 
-        monkeypatch.setattr(runner_mod, "run_trial", counting)
+        monkeypatch.setattr(trials_mod, "run_trial", counting)
         config = ExperimentConfig(
             scenarios=("smoke",),
             placers=("random", "random"),
@@ -446,16 +446,16 @@ class TestRunnerTrialMemoization:
             assert records[0] is not records[1]
 
     def test_distinct_cells_not_merged(self, monkeypatch):
-        import repro.experiments.runner as runner_mod
+        import repro.experiments.trials as trials_mod
 
         calls = []
-        original = runner_mod.run_trial
+        original = trials_mod.run_trial
 
         def counting(scenario, placer, trial, base_seed, params=None):
             calls.append((scenario, placer, trial))
             return original(scenario, placer, trial, base_seed, params)
 
-        monkeypatch.setattr(runner_mod, "run_trial", counting)
+        monkeypatch.setattr(trials_mod, "run_trial", counting)
         config = ExperimentConfig(
             scenarios=("smoke",), placers=("random",), trials=2,
             baseline="random", workers=1,
