@@ -27,13 +27,14 @@ from repro.net.fairness import FlowDemand, max_min_allocation
 from repro.net.flows import Flow
 from repro.net.fluid import ALLOCATOR_INCREMENTAL, ALLOCATOR_REFERENCE, FluidSimulation
 from repro.net.topology import build_two_rack_cloud, clear_route_cache
-from repro.units import GBITPS, MBYTE
+from repro.units import GBITPS, GBYTE, MBYTE
 from repro.workloads.patterns import scatter_gather
 
 #: Acceptance floors the full-size suite is expected to clear.
 TARGET_ALLOCATOR_SPEEDUP = 5.0
 TARGET_E2E_SPEEDUP = 2.0
 TARGET_RESUME_SPEEDUP = 5.0
+TARGET_ILP_SPEEDUP = 3.0
 
 
 def _close(a: float, b: float, tol: float = 1e-9) -> bool:
@@ -292,6 +293,99 @@ def bench_greedy(
 
 
 # ---------------------------------------------------------------------------
+# ILP placement (Appendix formulation)
+# ---------------------------------------------------------------------------
+def _ilp_bench_instance(n_tasks: int, n_vms: int, seed: int):
+    """A reproducible mid-size instance: a chain of transfers plus random
+    extra edges over machines with heterogeneous pair rates."""
+    from repro.units import MBITPS
+    from repro.workloads.application import Application, Task, TrafficMatrix
+
+    rng = random.Random(seed)
+    tasks = [Task(f"t{i}", rng.choice([0.5, 1.0, 2.0])) for i in range(n_tasks)]
+    names = [t.name for t in tasks]
+    traffic = TrafficMatrix()
+    for i in range(n_tasks):
+        traffic.add(names[i], names[(i + 1) % n_tasks], rng.uniform(0.5, 4.0) * GBYTE)
+    extra = 0
+    while extra < n_tasks // 2:
+        i, j = rng.randrange(n_tasks), rng.randrange(n_tasks)
+        if i != j and traffic.get(names[i], names[j]) == 0:
+            traffic.add(names[i], names[j], rng.uniform(0.2, 2.0) * GBYTE)
+            extra += 1
+    app = Application("ilp-bench", tasks, traffic)
+    machines = [f"m{i}" for i in range(n_vms)]
+    cluster = ClusterState(machines=[Machine(m, cores=4.0) for m in machines])
+    rates = {
+        (a, b): rng.uniform(300 * MBITPS, 1.1 * GBITPS)
+        for a in machines
+        for b in machines
+        if a != b
+    }
+    profile = NetworkProfile(vms=machines, rates_bps=rates)
+    return app, cluster, profile
+
+
+def bench_ilp_scale(
+    n_tasks: int = 12,
+    n_vms: int = 10,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Appendix MILP: dense cold formulation vs pruned + warm-started.
+
+    Both placers solve the identical instance to (near-)proven optimality;
+    the achieved objectives must agree, so the pruning and the warm-start
+    cut are verified exact while being timed.
+    """
+    from repro.core.estimator import estimate_completion_time
+    from repro.core.placement.ilp import OptimalPlacer
+
+    app, cluster, profile = _ilp_bench_instance(n_tasks, n_vms, seed)
+
+    dense = OptimalPlacer(
+        formulation="dense", warm_start=False, symmetry_breaking=False,
+        mip_rel_gap=1e-9, time_limit_s=600.0,
+    )
+    started = time.perf_counter()
+    dense_placement = dense.place(app, cluster, profile)
+    reference_s = time.perf_counter() - started
+
+    pruned = OptimalPlacer(mip_rel_gap=1e-9, time_limit_s=600.0)
+    started = time.perf_counter()
+    pruned_placement = pruned.place(app, cluster, profile)
+    optimized_s = time.perf_counter() - started
+
+    dense_objective = estimate_completion_time(
+        dense_placement.assignments, app, profile, model="hose"
+    )
+    pruned_objective = estimate_completion_time(
+        pruned_placement.assignments, app, profile, model="hose"
+    )
+    dense_stats = dense.last_solve_stats or {}
+    pruned_stats = pruned.last_solve_stats or {}
+    return {
+        "name": "ilp_scale",
+        "params": {"n_tasks": n_tasks, "n_vms": n_vms},
+        "reference_s": round(reference_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "speedup": round(reference_s / optimized_s, 3) if optimized_s else None,
+        "dense_objective_s": dense_objective,
+        "pruned_objective_s": pruned_objective,
+        # The structural win: formulation size before/after pruning.
+        "dense_vars": dense_stats.get("n_vars"),
+        "dense_rows": dense_stats.get("n_rows"),
+        "pruned_vars": pruned_stats.get("n_vars"),
+        "pruned_rows": pruned_stats.get("n_rows"),
+        "pruned_binaries": pruned_stats.get("n_binaries"),
+        "warm_start_accepted": pruned_stats.get("warm_start_accepted"),
+        "warm_bound_s": pruned_stats.get("warm_bound_s"),
+        "mip_nodes_dense": dense_stats.get("mip_nodes"),
+        "mip_nodes_pruned": pruned_stats.get("mip_nodes"),
+        "matched": _close(dense_objective, pruned_objective, tol=1e-6),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Measurement mesh
 # ---------------------------------------------------------------------------
 def bench_mesh(
@@ -504,6 +598,7 @@ _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
     "allocator": bench_allocator,
     "fluid": bench_fluid,
     "greedy": bench_greedy,
+    "ilp_scale": bench_ilp_scale,
     "mesh": bench_mesh,
     "e2e": bench_e2e_experiments,
     "sweep_resume": bench_sweep_resume,
@@ -513,21 +608,25 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "allocator": {"n_links": 30, "n_flows": 60, "n_events": 80},
     "fluid": {"n_pairs": 8, "n_flows": 60},
     "greedy": {"n_machines": 8, "n_workers": 7, "repeats": 2},
+    "ilp_scale": {"n_tasks": 8, "n_vms": 6},
     "mesh": {"n_vms": 6},
     "e2e": {"quick": True},
     "sweep_resume": {"quick": True},
 }
 
 
-#: Benches run when no ``--only`` subset is given.  ``sweep_resume`` is
-#: opt-in: it measures the persistent store rather than a hot path, and is
-#: tracked in its own ``BENCH_sweeps.json`` (see docs/performance.md).
+#: Benches run when no ``--only`` subset is given.  ``sweep_resume`` and
+#: ``ilp_scale`` are opt-in: each is tracked in its own ``BENCH_*.json``
+#: (``BENCH_sweeps.json`` / ``BENCH_ilp.json``, see docs/performance.md)
+#: and run as a dedicated CI step, so the default suite does not pay for
+#: (or duplicate) them.
 DEFAULT_SUITE: Tuple[str, ...] = ("allocator", "fluid", "greedy", "mesh", "e2e")
 
 #: Speedup floors per bench: (targets key, minimum), applied when the bench ran.
 _TARGET_FLOORS: Dict[str, Tuple[str, float]] = {
     "allocator": ("allocator_speedup", TARGET_ALLOCATOR_SPEEDUP),
     "e2e": ("e2e_speedup", TARGET_E2E_SPEEDUP),
+    "ilp_scale": ("ilp_speedup", TARGET_ILP_SPEEDUP),
     "sweep_resume": ("resume_speedup", TARGET_RESUME_SPEEDUP),
 }
 

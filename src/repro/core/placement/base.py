@@ -163,6 +163,25 @@ def validate_placement(
             )
 
 
+def cpu_feasible_machines(
+    app: Application, cluster: ClusterState
+) -> Dict[str, List[str]]:
+    """For each task, the machines with enough free CPU for it alone.
+
+    This is the per-assignment feasibility filter exact solvers can prune
+    variables with: a task can never sit on a machine that lacks the cores
+    for it in isolation (joint feasibility is still the solver's job).
+    """
+    machines = cluster.machine_names()
+    available = {m: cluster.available_cpu(m) for m in machines}
+    return {
+        task.name: [
+            m for m in machines if task.cpu_cores <= available[m] + 1e-9
+        ]
+        for task in app.tasks
+    }
+
+
 class Placer(abc.ABC):
     """Interface every placement algorithm implements."""
 

@@ -47,6 +47,49 @@ def set_default_rate_cache(enabled: bool) -> bool:
     return previous
 
 
+def greedy_incumbent(
+    app: Application,
+    cluster: ClusterState,
+    profile: NetworkProfile,
+    model: str = "hose",
+) -> Optional[Placement]:
+    """A greedy placement for use as a MILP warm start, or ``None``.
+
+    Greedy can dead-end on CPU packing (it commits machines transfer by
+    transfer and never backtracks) on instances where a feasible assignment
+    exists, so failure here must not be fatal: callers treat ``None`` as
+    "proceed cold".
+    """
+    try:
+        return GreedyPlacer(model=model).place(app, cluster, profile)
+    except PlacementError:
+        return None
+
+
+def machine_rate_scores(
+    profile: NetworkProfile,
+    machines: List[str],
+    model: str = "hose",
+) -> Dict[str, float]:
+    """Each machine's best greedy effective rate to any peer, nothing placed.
+
+    This is the score Algorithm 1 would use for the machine's first
+    connection; the ILP's ``candidate_k`` restriction ranks machines by it.
+    """
+    load = ConnectionLoad()
+    scores: Dict[str, float] = {}
+    for machine in machines:
+        best = 0.0
+        for other in machines:
+            if other == machine:
+                continue
+            best = max(
+                best, effective_rate(profile, machine, other, load, model=model)
+            )
+        scores[machine] = best
+    return scores
+
+
 class GreedyPlacer(Placer):
     """Algorithm 1: greedy network-aware placement.
 

@@ -5,7 +5,7 @@ with the process, so a grown grid re-pays every cell on every invocation.
 :class:`ResultStore` keeps trial records on disk instead, keyed by
 *everything that determines a trial's outcome*:
 
-``(scenario, params, placer, trial, seed, code_version)``
+``(scenario, params, placer, placer_params, trial, seed, code_version)``
 
 where ``code_version`` is a digest of the installed ``repro`` source tree.
 Change any source file and every key changes, so a store can never serve
@@ -83,6 +83,7 @@ class CacheKey:
     trial: int
     seed: int
     code_version: str
+    placer_params: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
     def make(
@@ -93,6 +94,7 @@ class CacheKey:
         seed: int,
         params: Optional[Mapping[str, object]] = None,
         version: Optional[str] = None,
+        placer_params: Optional[Mapping[str, object]] = None,
     ) -> "CacheKey":
         return cls(
             scenario=scenario,
@@ -101,6 +103,7 @@ class CacheKey:
             trial=trial,
             seed=seed,
             code_version=version if version is not None else code_version(),
+            placer_params=tuple(sorted((placer_params or {}).items())),
         )
 
     def to_json_dict(self) -> dict:
@@ -108,6 +111,7 @@ class CacheKey:
             "scenario": self.scenario,
             "params": {key: value for key, value in self.params},
             "placer": self.placer,
+            "placer_params": {key: value for key, value in self.placer_params},
             "trial": self.trial,
             "seed": self.seed,
             "code_version": self.code_version,
@@ -148,10 +152,12 @@ class ResultStore:
         trial: int,
         seed: int,
         params: Optional[Mapping[str, object]] = None,
+        placer_params: Optional[Mapping[str, object]] = None,
     ) -> CacheKey:
         """A :class:`CacheKey` bound to this store's code version."""
         return CacheKey.make(
-            scenario, placer, trial, seed, params=params, version=self.version
+            scenario, placer, trial, seed, params=params, version=self.version,
+            placer_params=placer_params,
         )
 
     def _path(self, key: CacheKey) -> Path:

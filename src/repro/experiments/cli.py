@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError, ReproError
 from repro.experiments.backends import backend_names
-from repro.experiments.placers import placer_names
+from repro.experiments.placers import canonical_placer_name, placer_names
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import (
     DEFAULT_PLACERS,
@@ -33,7 +33,10 @@ BENCH_SCENARIOS = ("smoke", "all-to-all", "partition-aggregate")
 
 
 def _parse_value(text: str):
-    """Parse a ``--param`` value as int, then float, then string."""
+    """Parse a ``--param`` value as bool, then int, then float, then string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
     for caster in (int, float):
         try:
             return caster(text)
@@ -119,6 +122,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario builder parameter override (applied to every scenario "
         "that declares the key; repeatable)",
     )
+    run_cmd.add_argument(
+        "--placer-param", action="append", metavar="PLACER:KEY=VALUE",
+        help="per-placer construction override, e.g. the ILP's per-cell "
+        "solver budget: ilp:time_limit_s=5 (repeatable; aliases accepted)",
+    )
+    run_cmd.add_argument(
+        "--cache-stats", action="store_true",
+        help="print the persistent store's hit/miss/stored/invalidated "
+        "counters after the run (needs --cache-dir)",
+    )
 
     bench_cmd = sub.add_parser(
         "bench", help="timed small grid; emits a BENCH_*.json perf summary"
@@ -169,6 +182,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_placer_params(
+    items: Optional[Sequence[str]],
+) -> Dict[str, Dict[str, object]]:
+    """Parse repeated ``PLACER:KEY=VALUE`` flags into per-placer mappings."""
+    params: Dict[str, Dict[str, object]] = {}
+    for item in items or ():
+        head, sep, assignment = item.partition(":")
+        if not sep or "=" not in assignment:
+            raise ExperimentError(
+                f"--placer-param expects PLACER:KEY=VALUE, got {item!r}"
+            )
+        placer = canonical_placer_name(head.strip())
+        key, _, value = assignment.partition("=")
+        params.setdefault(placer, {})[key.strip()] = _parse_value(value.strip())
+    return params
+
+
 def _make_config(
     scenarios: Sequence[str],
     placers_csv: str,
@@ -179,6 +209,7 @@ def _make_config(
     param_items: Optional[Sequence[str]] = None,
     backend: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    placer_param_items: Optional[Sequence[str]] = None,
 ) -> ExperimentConfig:
     placers = tuple(name.strip() for name in placers_csv.split(",") if name.strip())
     overrides = _parse_params(param_items)
@@ -208,6 +239,7 @@ def _make_config(
         backend=backend,
         cache_dir=cache_dir,
         scenario_params=scenario_params,
+        placer_params=_parse_placer_params(placer_param_items),
     )
 
 
@@ -234,21 +266,33 @@ def _print_run_summary(result: ExperimentResult) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenarios = _resolve_scenarios(args.scenario)
+    if args.cache_stats and not (args.cache_dir and not args.no_cache):
+        raise ExperimentError("--cache-stats needs --cache-dir (without --no-cache)")
     config = _make_config(
         scenarios, args.placers, args.trials, args.seed, args.workers,
         args.baseline, args.param,
         backend=args.backend,
         cache_dir=None if args.no_cache else args.cache_dir,
+        placer_param_items=args.placer_param,
     )
     runner = ExperimentRunner(config)
     result = runner.run()
     path = result.save(args.output)
     _print_run_summary(result)
     stats = runner.last_stats
+    # Printed even on fully-warm runs ("executed 0 trial(s)"), so cache
+    # behaviour is observable without opening the JSON.
     line = f"backend {stats.backend}: executed {stats.executed} trial(s)"
     if config.cache_dir:
         line += f", {stats.cache_hits} cache hit(s) from {config.cache_dir}"
     print(line)
+    if args.cache_stats and runner.store is not None:
+        counters = runner.store.stats
+        print(
+            "store stats: "
+            f"hits={counters['hits']} misses={counters['misses']} "
+            f"stored={counters['stored']} invalidated={counters['invalidated']}"
+        )
     failed = [rec for rec in result.records if not rec.ok]
     print(f"wrote {len(result.records)} trial record(s) to {path}")
     if failed:

@@ -4,12 +4,19 @@ Maps the placer names used on the CLI and in result files to factories.
 Network-aware placers (``needs_profile=True``) get a measurement campaign
 charged to their trial; network-oblivious baselines skip it, exactly as the
 paper's comparison does.
+
+Factories take ``(seed, **params)``: ``params`` are per-cell overrides from
+:attr:`~repro.experiments.runner.ExperimentConfig.placer_params` (e.g. the
+ILP's solver budget), validated by the factory so typos fail fast.  Aliases
+let the ROADMAP/bench names address registry entries (``choreo-optimal`` is
+``ilp``, ``choreo-greedy`` is ``greedy``); configs canonicalise them so
+result files and cache keys always carry the registry name.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.core.placement.base import Placer
 from repro.core.placement.baselines import (
@@ -21,9 +28,19 @@ from repro.core.placement.greedy import GreedyPlacer
 from repro.core.placement.ilp import BruteForcePlacer, OptimalPlacer
 from repro.errors import ExperimentError
 
-#: Factory signature: ``factory(seed) -> Placer`` (seed ignored by
-#: deterministic placers).
-PlacerFactory = Callable[[int], Placer]
+#: Factory signature: ``factory(seed, **params) -> Placer`` (seed ignored by
+#: deterministic placers; unknown params raise :class:`ExperimentError`).
+PlacerFactory = Callable[..., Placer]
+
+#: Alternate spellings accepted anywhere a placer name is taken.  The values
+#: are registry names; the keys are the ``Placer.name`` attributes and other
+#: historical spellings, so the ROADMAP/bench vocabulary resolves too.
+PLACER_ALIASES: Dict[str, str] = {
+    "choreo-optimal": "ilp",
+    "optimal": "ilp",
+    "choreo-greedy": "greedy",
+    "brute": "brute-force",
+}
 
 
 @dataclass(frozen=True)
@@ -34,6 +51,10 @@ class PlacerSpec:
     description: str
     factory: PlacerFactory
     needs_profile: bool = False
+
+    def create(self, seed: int, params: Optional[Mapping[str, object]] = None) -> Placer:
+        """Instantiate the placer with per-cell parameter overrides."""
+        return self.factory(seed, **dict(params or {}))
 
 
 _PLACERS: Dict[str, PlacerSpec] = {}
@@ -46,19 +67,117 @@ def _register(spec: PlacerSpec) -> PlacerSpec:
     return spec
 
 
+def _reject_params(name: str, params: Mapping[str, object]) -> None:
+    if params:
+        raise ExperimentError(
+            f"placer {name!r} takes no parameters; got {sorted(params)}"
+        )
+
+
+def _pick(params: Mapping[str, object], allowed: Dict[str, object]) -> Dict[str, object]:
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ExperimentError(
+            f"unknown placer parameter(s) {sorted(unknown)}; "
+            f"available: {sorted(allowed)}"
+        )
+    return {**allowed, **params}
+
+
+def _to_bool(key: str, value: object) -> bool:
+    """Strict boolean coercion: ``bool("false")`` is True, so strings are
+    matched explicitly and anything ambiguous raises instead of silently
+    flipping an ablation flag on."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+    raise ExperimentError(
+        f"placer parameter {key!r} expects a boolean, got {value!r}"
+    )
+
+
+def _greedy_factory(seed: int, **params) -> Placer:
+    opts = _pick(params, {"model": "hose"})
+    return GreedyPlacer(model=str(opts["model"]))
+
+
+def _ilp_factory(seed: int, **params) -> Placer:
+    """The sweep-grade ILP: warm-started, pruned, budgeted per cell.
+
+    ``candidate_k`` accepts an int, ``None``, or the string ``"all"`` (the
+    last two keep every machine and are exact).
+    """
+    opts = _pick(
+        params,
+        {
+            "model": "hose",
+            "time_limit_s": 10.0,
+            "mip_rel_gap": 1e-4,
+            "formulation": "sparse",
+            "warm_start": True,
+            "symmetry_breaking": True,
+            "candidate_k": None,
+        },
+    )
+    candidate_k = opts["candidate_k"]
+    if candidate_k in (None, "all"):
+        candidate_k = None
+    else:
+        candidate_k = int(candidate_k)  # type: ignore[arg-type]
+    return OptimalPlacer(
+        model=str(opts["model"]),
+        time_limit_s=float(opts["time_limit_s"]),  # type: ignore[arg-type]
+        mip_rel_gap=float(opts["mip_rel_gap"]),  # type: ignore[arg-type]
+        formulation=str(opts["formulation"]),
+        warm_start=_to_bool("warm_start", opts["warm_start"]),
+        symmetry_breaking=_to_bool("symmetry_breaking", opts["symmetry_breaking"]),
+        candidate_k=candidate_k,
+    )
+
+
+def _brute_factory(seed: int, **params) -> Placer:
+    opts = _pick(params, {"model": "hose"})
+    return BruteForcePlacer(model=str(opts["model"]))
+
+
+def _random_factory(seed: int, **params) -> Placer:
+    _reject_params("random", params)
+    return RandomPlacer(seed=seed)
+
+
+def _round_robin_factory(seed: int, **params) -> Placer:
+    _reject_params("round-robin", params)
+    return RoundRobinPlacer()
+
+
+def _min_machines_factory(seed: int, **params) -> Placer:
+    _reject_params("min-machines", params)
+    return MinimumMachinesPlacer()
+
+
 _register(
     PlacerSpec(
         name="greedy",
         description="Choreo's greedy network-aware placement (Algorithm 1, §5).",
-        factory=lambda seed: GreedyPlacer(model="hose"),
+        factory=_greedy_factory,
         needs_profile=True,
     )
 )
 _register(
     PlacerSpec(
         name="ilp",
-        description="The Appendix's linearised optimal placement (HiGHS MILP).",
-        factory=lambda seed: OptimalPlacer(model="hose", time_limit_s=30.0),
+        description=(
+            "The Appendix's linearised optimal placement (HiGHS MILP), "
+            "warm-started from greedy with pruned product variables."
+        ),
+        factory=_ilp_factory,
         needs_profile=True,
     )
 )
@@ -66,7 +185,7 @@ _register(
     PlacerSpec(
         name="brute-force",
         description="Exhaustive optimal placement; tiny instances only.",
-        factory=lambda seed: BruteForcePlacer(model="hose"),
+        factory=_brute_factory,
         needs_profile=True,
     )
 )
@@ -74,35 +193,41 @@ _register(
     PlacerSpec(
         name="random",
         description="Tasks on random CPU-feasible VMs (the paper's baseline).",
-        factory=lambda seed: RandomPlacer(seed=seed),
+        factory=_random_factory,
     )
 )
 _register(
     PlacerSpec(
         name="round-robin",
         description="Tasks round-robin across VMs, skipping full ones.",
-        factory=lambda seed: RoundRobinPlacer(),
+        factory=_round_robin_factory,
     )
 )
 _register(
     PlacerSpec(
         name="min-machines",
         description="First-fit packing onto as few VMs as possible.",
-        factory=lambda seed: MinimumMachinesPlacer(),
+        factory=_min_machines_factory,
     )
 )
 
 
+def canonical_placer_name(name: str) -> str:
+    """Resolve aliases to the registry name (unknown names pass through)."""
+    return PLACER_ALIASES.get(name, name)
+
+
 def get_placer(name: str) -> PlacerSpec:
-    """Look up a placer spec by name."""
+    """Look up a placer spec by name (aliases accepted)."""
     try:
-        return _PLACERS[name]
+        return _PLACERS[canonical_placer_name(name)]
     except KeyError as exc:
         raise ExperimentError(
-            f"unknown placer {name!r}; registered: {placer_names()}"
+            f"unknown placer {name!r}; registered: {placer_names()} "
+            f"(aliases: {sorted(PLACER_ALIASES)})"
         ) from exc
 
 
 def placer_names() -> List[str]:
-    """All registered placer names, sorted."""
+    """All registered placer names, sorted (aliases excluded)."""
     return sorted(_PLACERS)

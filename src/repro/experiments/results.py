@@ -24,6 +24,14 @@ from repro.runtime.metrics import relative_speedup, speedup_summary
 #: machines, and backends, unlike the modeled (simulated) quantities.
 HOST_TIMING_FIELDS = ("trial_wall_s", "placement_wall_s")
 
+#: solver_stats keys that depend on the solver *run* rather than the
+#: formulation: wall clock, and anything that varies when a time limit
+#: binds earlier on one host than another (node counts, residual gap,
+#: termination status, fallback).  Stripped from the canonical form.
+SOLVER_RUN_STAT_KEYS = (
+    "solve_wall_s", "mip_nodes", "mip_gap", "status", "fallback_used",
+)
+
 
 @dataclass
 class TrialRecord:
@@ -49,6 +57,9 @@ class TrialRecord:
         trial_wall_s: host wall-clock for the whole trial.
         network_bytes: bytes that crossed the provider network.
         colocated_bytes: bytes that stayed on a VM thanks to colocation.
+        solver_stats: per-application exact-solver statistics (MIP gap, node
+            count, warm-start acceptance, formulation sizes) for placers
+            backed by a MILP; ``None`` for everything else.
     """
 
     scenario: str
@@ -67,6 +78,7 @@ class TrialRecord:
     trial_wall_s: float = 0.0
     network_bytes: float = 0.0
     colocated_bytes: float = 0.0
+    solver_stats: Optional[Dict[str, dict]] = None
 
     @property
     def ok(self) -> bool:
@@ -215,6 +227,16 @@ class ExperimentResult:
         for rec in clone.records:
             for field_name in HOST_TIMING_FIELDS:
                 setattr(rec, field_name, 0.0)
+            if rec.solver_stats:
+                # Formulation sizes and warm-start facts are modeled; keys
+                # describing the solver run itself are host-dependent when
+                # the time limit binds.  (A binding limit can still change
+                # the returned *placement* — per-cell budgets should be
+                # generous enough that solves finish when bit-identical
+                # cross-backend results matter.)
+                for stats in rec.solver_stats.values():
+                    for key in SOLVER_RUN_STAT_KEYS:
+                        stats.pop(key, None)
         return clone.to_json_dict()
 
     def save(self, path) -> Path:

@@ -22,7 +22,7 @@ from repro.experiments.backends import (
     get_backend,
 )
 from repro.experiments.cache import ResultStore
-from repro.experiments.placers import get_placer
+from repro.experiments.placers import canonical_placer_name, get_placer
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.scenarios import get_scenario
 from repro.experiments.trials import (  # noqa: F401  (re-exported API)
@@ -31,7 +31,7 @@ from repro.experiments.trials import (  # noqa: F401  (re-exported API)
     trial_seed,
 )
 
-DEFAULT_PLACERS: Tuple[str, ...] = ("greedy", "random", "round-robin")
+DEFAULT_PLACERS: Tuple[str, ...] = ("greedy", "ilp", "random", "round-robin")
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,13 @@ class ExperimentConfig:
             :class:`~repro.experiments.cache.ResultStore`; ``None`` disables
             the cross-run cache (within-run memoization always applies).
         scenario_params: per-scenario builder parameter overrides.
+        placer_params: per-placer construction overrides (e.g. the ILP's
+            per-cell solver budget: ``{"ilp": {"time_limit_s": 5.0}}``),
+            validated by the placer's factory.
+
+    Placer names (including the baseline) accept the registry's aliases
+    (``choreo-optimal`` for ``ilp``) and are canonicalised on construction,
+    so result files and cache keys always carry the registry name.
     """
 
     scenarios: Tuple[str, ...]
@@ -65,6 +72,7 @@ class ExperimentConfig:
     backend: Optional[str] = None
     cache_dir: Optional[str] = None
     scenario_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    placer_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -75,6 +83,30 @@ class ExperimentConfig:
             raise ExperimentError("workers must be >= 1 (or None for auto)")
         if self.backend is not None:
             get_backend(self.backend)  # fail fast on typos
+        # Canonicalise placer aliases up front (frozen dataclass, hence
+        # object.__setattr__): every consumer downstream — records, cache
+        # keys, summaries — then agrees on the registry name.
+        object.__setattr__(
+            self,
+            "placers",
+            tuple(canonical_placer_name(name) for name in self.placers),
+        )
+        object.__setattr__(
+            self, "baseline", canonical_placer_name(self.baseline)
+        )
+        canonical_params: Dict[str, Mapping[str, object]] = {}
+        for name, params in self.placer_params.items():
+            canonical = canonical_placer_name(name)
+            if canonical in canonical_params:
+                # An alias and its canonical name (or two aliases) both
+                # carry params: merging could silently combine conflicting
+                # overrides, so reject the ambiguity outright.
+                raise ExperimentError(
+                    f"placer_params given twice for {canonical!r} "
+                    f"(via an alias); merge the entries"
+                )
+            canonical_params[canonical] = params
+        object.__setattr__(self, "placer_params", canonical_params)
         for name in self.placers:
             get_placer(name)
         get_placer(self.baseline)
@@ -82,17 +114,28 @@ class ExperimentConfig:
             get_scenario(name)
         for name, params in self.scenario_params.items():
             get_scenario(name).validate_params(params)
-            for key, value in params.items():
-                # JSON scalars only: anything richer would round-trip
-                # differently through the subprocess wire format (tuple ->
-                # list) and break the backends' bit-identical guarantee.
-                if not isinstance(value, (type(None), bool, int, float, str)):
-                    raise ExperimentError(
-                        f"scenario_params[{name!r}][{key!r}] is "
-                        f"{type(value).__name__}; parameter values must be "
-                        "JSON scalars (None/bool/int/float/str) so every "
-                        "backend and the result store key them identically"
-                    )
+            self._check_json_scalars("scenario_params", name, params)
+        for name, params in self.placer_params.items():
+            # Dry-run construction: factories validate their own parameter
+            # names, so typos fail here instead of inside a worker.
+            get_placer(name).create(0, params)
+            self._check_json_scalars("placer_params", name, params)
+
+    @staticmethod
+    def _check_json_scalars(
+        group: str, name: str, params: Mapping[str, object]
+    ) -> None:
+        for key, value in params.items():
+            # JSON scalars only: anything richer would round-trip
+            # differently through the subprocess wire format (tuple ->
+            # list) and break the backends' bit-identical guarantee.
+            if not isinstance(value, (type(None), bool, int, float, str)):
+                raise ExperimentError(
+                    f"{group}[{name!r}][{key!r}] is "
+                    f"{type(value).__name__}; parameter values must be "
+                    "JSON scalars (None/bool/int/float/str) so every "
+                    "backend and the result store key them identically"
+                )
 
     @property
     def effective_placers(self) -> Tuple[str, ...]:
@@ -163,14 +206,15 @@ class ExperimentRunner:
         return WorkItem.make(
             scenario, placer, trial, self.config.base_seed,
             self.config.scenario_params.get(scenario),
+            self.config.placer_params.get(placer),
         )
 
     def _cell_key(self, scenario: str, placer: str, trial: int) -> Tuple:
         """Within-run memoization key: everything that determines a trial.
 
-        Two cells with the same ``(scenario, params, placer, trial, seed)``
-        run the identical simulation, so repeated grid cells — e.g. a
-        baseline listed twice, or duplicated scenario entries — are
+        Two cells with the same ``(scenario, params, placer, placer_params,
+        trial, seed)`` run the identical simulation, so repeated grid cells
+        — e.g. a baseline listed twice, or duplicated scenario entries — are
         simulated once per run and their records reused.  The trial index
         stays in the key so distinct trials can never merge through a CRC32
         seed collision.  (The *persistent* key additionally embeds the code
@@ -178,8 +222,10 @@ class ExperimentRunner:
         """
         params = self.config.scenario_params.get(scenario) or {}
         params_key = tuple(sorted((str(k), repr(v)) for k, v in params.items()))
+        pparams = self.config.placer_params.get(placer) or {}
+        pparams_key = tuple(sorted((str(k), repr(v)) for k, v in pparams.items()))
         seed = trial_seed(self.config.base_seed, scenario, trial)
-        return (scenario, params_key, placer, trial, seed)
+        return (scenario, params_key, placer, pparams_key, trial, seed)
 
     def run(self) -> ExperimentResult:
         """Run every cell and return the aggregated result.
@@ -248,4 +294,5 @@ class ExperimentRunner:
         return self.store.key_for(
             item.scenario, item.placer, item.trial, item.seed,
             params=dict(item.params),
+            placer_params=dict(item.placer_params),
         )

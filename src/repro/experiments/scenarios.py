@@ -31,7 +31,7 @@ from repro.cloud.registry import make_provider
 from repro.core.placement.base import ClusterState
 from repro.errors import ExperimentError
 from repro.units import GBYTE, MBYTE
-from repro.workloads.application import Application
+from repro.workloads.application import Application, Task, TrafficMatrix
 from repro.workloads.generator import HPCloudWorkloadGenerator, WorkloadSpec
 from repro.workloads.patterns import mapreduce, scatter_gather, uniform_mesh
 
@@ -408,6 +408,87 @@ def _build_trace_replay(
     return ScenarioInstance(
         provider=provider, cluster=cluster, apps=apps, mode=MODE_SEQUENCE
     )
+
+
+@scenario(
+    "rack-hotspot",
+    description=(
+        "Two racks behind oversubscribed ToR uplinks, a slow-hose VM tail, "
+        "and a descending chain of heavy transfers.  Greedy's colocation "
+        "ties ignore future egress, so it parks heavy senders on slow VMs "
+        "— the Figure-9 regime where the exact `ilp` placer has headroom."
+    ),
+    tags=("synthetic", "topology", "ilp"),
+    defaults={
+        "n_vms": 10,
+        "n_tasks": 12,
+        "uplink_gbps": 2.0,
+        "slow_fraction": 0.4,
+        "chain_gbytes": 4.0,
+    },
+)
+def _build_rack_hotspot(
+    seed: int,
+    n_vms: int,
+    n_tasks: int,
+    uplink_gbps: float,
+    slow_fraction: float,
+    chain_gbytes: float,
+) -> ScenarioInstance:
+    from repro.cloud.provider import ProviderParams
+    from repro.net.topology import TreeSpec
+    from repro.units import GBITPS, MBITPS
+
+    n_vms, n_tasks = int(n_vms), int(n_tasks)
+    if n_tasks > 2 * n_vms:
+        raise ExperimentError("rack-hotspot needs n_tasks <= 2 * n_vms")
+    slow_fraction = float(slow_fraction)
+
+    def hotspot_hose(rng: np.random.Generator) -> float:
+        # Bimodal egress caps: a fast mode and a pronounced slow tail, so
+        # machine choice matters and interchangeability is rare.
+        if rng.random() < slow_fraction:
+            return float(rng.uniform(300.0, 500.0)) * MBITPS
+        return float(rng.uniform(900.0, 1100.0)) * MBITPS
+
+    params = ProviderParams(
+        name="rack-hotspot",
+        hose_sampler=hotspot_hose,
+        colocation_probability=0.0,
+        intra_host_rate_bps=4 * GBITPS,
+        temporal_sigma=0.005,
+        temporal_tau_s=600.0,
+        measurement_noise=0.002,
+        tree_spec=TreeSpec(
+            hosts_per_rack=max(2, (n_vms + 1) // 2),
+            racks_per_pod=2,
+            pods=1,
+            num_cores=1,
+            host_link_bps=10 * GBITPS,
+            # The hotspot: both racks funnel through thin ToR uplinks.
+            tor_agg_link_bps=float(uplink_gbps) * GBITPS,
+            agg_core_link_bps=float(uplink_gbps) * GBITPS,
+            intra_host_bps=4 * GBITPS,
+        ),
+    )
+    provider = CloudProvider(params, seed=seed)
+    provider.request_vms(n_vms)
+    cluster = ClusterState.from_vms(provider.vms())
+
+    # A chain of transfers with geometrically decaying volumes: greedy
+    # colocates (t0,t1), (t2,t3), ... and the odd tasks become the heavy
+    # cross-machine senders — on machines greedy picked by name, not by
+    # egress cap.
+    rng = np.random.default_rng(seed + 0x401)
+    tasks = [Task(f"t{k}", cpu_cores=2.0) for k in range(n_tasks)]
+    traffic = TrafficMatrix()
+    volume = float(chain_gbytes) * GBYTE
+    for k in range(n_tasks - 1):
+        jitter = float(rng.uniform(0.9, 1.1))
+        traffic.add(f"t{k}", f"t{k + 1}", volume * jitter)
+        volume *= 0.85
+    app = Application(name="hotspot-chain", tasks=tasks, traffic=traffic)
+    return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
 
 
 @scenario(

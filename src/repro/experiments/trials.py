@@ -49,6 +49,7 @@ def run_trial(
     trial: int,
     base_seed: int,
     scenario_params: Optional[Mapping[str, object]] = None,
+    placer_params: Optional[Mapping[str, object]] = None,
 ) -> TrialRecord:
     """Run one grid cell and return its record.
 
@@ -66,9 +67,9 @@ def run_trial(
         record.n_apps = len(instance.apps)
         record.n_vms = len(instance.cluster.machines)
         if instance.mode == MODE_SEQUENCE:
-            _run_sequence_trial(instance, placer_name, seed, record)
+            _run_sequence_trial(instance, placer_name, seed, record, placer_params)
         else:
-            _run_batch_trial(instance, placer_name, seed, record)
+            _run_batch_trial(instance, placer_name, seed, record, placer_params)
     except ReproError as exc:
         record.status = "error"
         record.error = f"{type(exc).__name__}: {exc}"
@@ -90,6 +91,7 @@ class WorkItem:
     trial: int
     base_seed: int
     params: Tuple[Tuple[str, object], ...] = ()
+    placer_params: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
     def make(
@@ -99,6 +101,7 @@ class WorkItem:
         trial: int,
         base_seed: int,
         params: Optional[Mapping[str, object]] = None,
+        placer_params: Optional[Mapping[str, object]] = None,
     ) -> "WorkItem":
         return cls(
             scenario=scenario,
@@ -106,6 +109,7 @@ class WorkItem:
             trial=trial,
             base_seed=base_seed,
             params=tuple(sorted((params or {}).items())),
+            placer_params=tuple(sorted((placer_params or {}).items())),
         )
 
     @property
@@ -116,18 +120,19 @@ class WorkItem:
         """Execute this cell in the current process."""
         return run_trial(
             self.scenario, self.placer, self.trial, self.base_seed,
-            dict(self.params),
+            dict(self.params), dict(self.placer_params),
         )
 
     # ------------------------------------------------------------ wire format
     def to_json_dict(self) -> dict:
-        """The subprocess-backend wire format (scenario params are plain JSON)."""
+        """The subprocess-backend wire format (all params are plain JSON)."""
         return {
             "scenario": self.scenario,
             "placer": self.placer,
             "trial": self.trial,
             "base_seed": self.base_seed,
             "params": dict(self.params),
+            "placer_params": dict(self.placer_params),
         }
 
     @classmethod
@@ -139,6 +144,7 @@ class WorkItem:
                 trial=int(data["trial"]),  # type: ignore[arg-type]
                 base_seed=int(data["base_seed"]),  # type: ignore[arg-type]
                 params=dict(data.get("params") or {}),  # type: ignore[arg-type]
+                placer_params=dict(data.get("placer_params") or {}),  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(f"malformed work item: {exc}") from exc
@@ -155,12 +161,28 @@ def _measurement_plan() -> MeasurementPlan:
     return MeasurementPlan(advance_clock=False)
 
 
+def _collect_solver_stats(placer, record: TrialRecord) -> None:
+    """Copy a solver-backed placer's per-app stats into the record.
+
+    Placers that expose ``stats_history`` (the ILP) report MIP gap, node
+    counts, and warm-start acceptance per placed application; everything
+    else leaves the field ``None``.
+    """
+    history = getattr(placer, "stats_history", None)
+    if history:
+        record.solver_stats = {app_name: dict(stats) for app_name, stats in history}
+
+
 def _run_batch_trial(
-    instance: ScenarioInstance, placer_name: str, seed: int, record: TrialRecord
+    instance: ScenarioInstance,
+    placer_name: str,
+    seed: int,
+    record: TrialRecord,
+    placer_params: Optional[Mapping[str, object]] = None,
 ) -> None:
     """Place every application at time zero and run them together."""
     placer_spec = get_placer(placer_name)
-    placer = placer_spec.factory(seed)
+    placer = placer_spec.create(seed, placer_params)
     provider, cluster = instance.provider, instance.cluster
 
     place_started = time.perf_counter()
@@ -179,6 +201,7 @@ def _run_batch_trial(
         placements[app.name] = placement
         state = state.with_usage(placement.cpu_usage(app))
     record.placement_wall_s = time.perf_counter() - place_started
+    _collect_solver_stats(placer, record)
 
     runs = run_applications(
         provider,
@@ -191,11 +214,15 @@ def _run_batch_trial(
 
 
 def _run_sequence_trial(
-    instance: ScenarioInstance, placer_name: str, seed: int, record: TrialRecord
+    instance: ScenarioInstance,
+    placer_name: str,
+    seed: int,
+    record: TrialRecord,
+    placer_params: Optional[Mapping[str, object]] = None,
 ) -> None:
     """Replay the §2.4 arrival sequence with the placer under test."""
     placer_spec = get_placer(placer_name)
-    placer = placer_spec.factory(seed)
+    placer = placer_spec.create(seed, placer_params)
     runner = SequentialPlacementRunner(
         instance.provider,
         instance.cluster,
@@ -205,6 +232,7 @@ def _run_sequence_trial(
         background=instance.background,
     )
     result = runner.run(instance.apps)
+    _collect_solver_stats(placer, record)
     record.placement_wall_s = result.placement_wall_s
     record.measurement_overhead_s = sum(
         profile.measurement_duration_s
