@@ -592,6 +592,89 @@ def bench_sweep_resume(
 
 
 # ---------------------------------------------------------------------------
+# Service churn (online placement service)
+# ---------------------------------------------------------------------------
+def bench_service_churn(
+    quick: bool = False,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Churn-session throughput and predictor regret vs. the oracle.
+
+    Times one combined-predictor session end to end (streaming admission,
+    TTL-cached measurement, forecasts, migration) and reports applications
+    admitted per wall-second plus the mean-completion-time regret of the
+    combined and stale predictors against the oracle session on the same
+    seed.  ``matched`` asserts the session is *deterministic*: an identical
+    re-run must reproduce the canonical report bit for bit — the guarantee
+    the CI service smoke job builds on.
+    """
+    from repro.service.session import run_churn_session
+
+    if quick:
+        session = dict(
+            n_vms=6, hours=3.0, drift="hotspot-flap", epoch_s=120.0,
+            apps_per_hour=1.5,
+        )
+    else:
+        session = dict(
+            n_vms=10, hours=6.0, drift="hotspot-flap", epoch_s=300.0,
+            apps_per_hour=2.0,
+        )
+
+    started = time.perf_counter()
+    report = run_churn_session(
+        seed, predictor="combined", placer="greedy", **session
+    )
+    combined_s = time.perf_counter() - started
+    rerun = run_churn_session(
+        seed, predictor="combined", placer="greedy", **session
+    )
+    oracle = run_churn_session(
+        seed, predictor="oracle", placer="greedy", **session
+    )
+    stale = run_churn_session(
+        seed, predictor="stale", placer="greedy", **session
+    )
+
+    deterministic = json.dumps(
+        report.canonical_json_dict(), sort_keys=True
+    ) == json.dumps(rerun.canonical_json_dict(), sort_keys=True)
+    admitted = len(report.completed())
+
+    def _mean(rep) -> Optional[float]:
+        if not rep.completed():
+            return None
+        return round(rep.mean_completion_time_s, 3)
+
+    def _regret(rep) -> Optional[float]:
+        if not rep.completed() or not oracle.completed():
+            return None
+        return round(
+            rep.mean_completion_time_s / oracle.mean_completion_time_s - 1.0, 4
+        )
+
+    return {
+        "name": "service_churn",
+        "params": dict(session),
+        "apps_admitted": admitted,
+        "apps_rejected": len(report.rejected()),
+        "migrations": len(report.migrations),
+        "pairs_measured": report.measurement.get("pairs_measured"),
+        "pairs_reused": report.measurement.get("pairs_reused"),
+        "session_wall_s": round(combined_s, 6),
+        "apps_admitted_per_s": (
+            round(admitted / combined_s, 3) if combined_s else None
+        ),
+        "mean_completion_combined_s": _mean(report),
+        "mean_completion_oracle_s": _mean(oracle),
+        "mean_completion_stale_s": _mean(stale),
+        "regret_combined_vs_oracle": _regret(report),
+        "regret_stale_vs_oracle": _regret(stale),
+        "matched": deterministic,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
@@ -602,6 +685,7 @@ _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
     "mesh": bench_mesh,
     "e2e": bench_e2e_experiments,
     "sweep_resume": bench_sweep_resume,
+    "service_churn": bench_service_churn,
 }
 
 _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
@@ -612,14 +696,15 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "mesh": {"n_vms": 6},
     "e2e": {"quick": True},
     "sweep_resume": {"quick": True},
+    "service_churn": {"quick": True},
 }
 
 
-#: Benches run when no ``--only`` subset is given.  ``sweep_resume`` and
-#: ``ilp_scale`` are opt-in: each is tracked in its own ``BENCH_*.json``
-#: (``BENCH_sweeps.json`` / ``BENCH_ilp.json``, see docs/performance.md)
-#: and run as a dedicated CI step, so the default suite does not pay for
-#: (or duplicate) them.
+#: Benches run when no ``--only`` subset is given.  ``sweep_resume``,
+#: ``ilp_scale``, and ``service_churn`` are opt-in: each is tracked in its
+#: own ``BENCH_*.json`` (``BENCH_sweeps.json`` / ``BENCH_ilp.json`` /
+#: ``BENCH_service.json``, see docs/performance.md) and run as a dedicated
+#: CI step, so the default suite does not pay for (or duplicate) them.
 DEFAULT_SUITE: Tuple[str, ...] = ("allocator", "fluid", "greedy", "mesh", "e2e")
 
 #: Speedup floors per bench: (targets key, minimum), applied when the bench ran.

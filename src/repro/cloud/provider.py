@@ -134,6 +134,13 @@ class CloudProvider:
         self._base_hose: Dict[str, float] = {}
         self._hose_deviation: Dict[str, float] = {}
         self._vm_counter = 0
+        #: When set (see :func:`repro.service.timeline.attach_timeline`), VMs
+        #: covered by the timeline take their egress cap from it at the
+        #: current clock instead of the OU-drifted base — the ground-truth
+        #: network then varies epoch by epoch, and everything downstream
+        #: (fluid simulation, packet trains, netperf) sees the epoch-correct
+        #: rates because they all flow through :meth:`hose_rate`.
+        self.hose_timeline = None
 
     # ------------------------------------------------------------------ VMs
     def request_vms(self, n: int, name_prefix: str = "vm") -> List[VirtualMachine]:
@@ -213,9 +220,18 @@ class CloudProvider:
     def hose_rate(self, vm_name: str) -> float:
         """Current (drifted) egress cap of a VM, in bits/second."""
         self.vm(vm_name)
+        if self.hose_timeline is not None:
+            timed = self.hose_timeline.hose_rate_at(vm_name, self._clock)
+            if timed is not None:
+                return timed
         base = self._base_hose[vm_name]
         deviation = self._hose_deviation[vm_name]
         return max(base * (1.0 + deviation), 0.05 * base)
+
+    def base_hose_rates(self) -> Dict[str, float]:
+        """Each VM's undrifted base egress cap (timeline generators seed
+        their epoch-0 matrices from these)."""
+        return dict(self._base_hose)
 
     def true_path_rate(self, src_vm: str, dst_vm: str) -> float:
         """Single-connection throughput absent any other tenant traffic."""

@@ -100,9 +100,11 @@ class NetworkMeasurer:
         return rounds * self.per_pair_time_s()
 
     def schedule_rounds(
-        self, vm_names: Sequence[str]
+        self,
+        vm_names: Sequence[str],
+        pairs: Optional[Sequence[Tuple[str, str]]] = None,
     ) -> List[List[Tuple[str, str]]]:
-        """Batch the ordered full mesh into rounds of non-interfering pairs.
+        """Batch ordered pairs into rounds of non-interfering probes.
 
         Two probes interfere when they share a VM (they would contend for
         the endpoint's NIC and hose cap), so each round holds at most
@@ -111,8 +113,20 @@ class NetworkMeasurer:
         source/destination order and each round takes the earliest pairs
         that still fit.  With ``parallelism == 1`` every round holds exactly
         one pair, in the same order the serial mesh used.
+
+        ``pairs`` restricts the schedule to a subset of the mesh (the TTL
+        cache's stale pairs); by default the full ordered mesh is probed.
         """
-        pending = [(s, d) for s in vm_names for d in vm_names if s != d]
+        if pairs is None:
+            pending = [(s, d) for s in vm_names for d in vm_names if s != d]
+        else:
+            known = set(vm_names)
+            for src, dst in pairs:
+                if src == dst or src not in known or dst not in known:
+                    raise MeasurementError(
+                        f"cannot schedule pair ({src!r}, {dst!r})"
+                    )
+            pending = list(dict.fromkeys(pairs))  # dedupe, keep order
         limit = self.plan.parallelism
         if limit == 1:
             return [[pair] for pair in pending]
@@ -156,14 +170,23 @@ class NetworkMeasurer:
         self,
         vm_names: Optional[Sequence[str]] = None,
         background: Sequence[VMFlow] = (),
+        pairs: Optional[Sequence[Tuple[str, str]]] = None,
     ) -> NetworkProfile:
-        """Measure the full mesh and return a :class:`NetworkProfile`.
+        """Measure the (full or partial) mesh and return a :class:`NetworkProfile`.
 
         Args:
             vm_names: VMs to include; defaults to every VM on the provider.
             background: flows currently running on the tenant's VMs (e.g.
                 previously placed applications, §2.4) that the measurement
                 should see as cross traffic.
+            pairs: restrict the campaign to these ordered pairs (the stale
+                subset of a TTL cache); the returned profile covers only
+                them.  ``None`` probes the full ordered mesh.
+
+        Every probed pair carries its own timestamp in
+        :attr:`NetworkProfile.pair_measured_at` — pairs from later campaign
+        rounds are measured later, which is what per-pair TTL invalidation
+        keys on.
         """
         names = (
             list(vm_names)
@@ -176,16 +199,20 @@ class NetworkMeasurer:
         started_at = self.provider.now
         rates: Dict[Tuple[str, str], float] = {}
         cross: Dict[Tuple[str, str], float] = {}
+        pair_times: Dict[Tuple[str, str], float] = {}
         advertised = self.provider.params.instance_type.advertised_egress_bps
-        rounds = self.schedule_rounds(names)
-        for batch in rounds:
+        rounds = self.schedule_rounds(names, pairs=pairs)
+        round_time = self.per_pair_time_s()
+        for round_index, batch in enumerate(rounds):
+            probed_at = started_at + round_index * round_time
             for src, dst in batch:
                 rate = self.measure_pair(src, dst, background=background)
                 rates[(src, dst)] = max(rate, 1.0)
+                pair_times[(src, dst)] = probed_at
                 if self.plan.estimate_cross_traffic and rate > 0:
                     cross[(src, dst)] = estimate_cross_traffic(rate, max(advertised, rate))
 
-        duration = len(rounds) * self.per_pair_time_s()
+        duration = len(rounds) * round_time
         if self.plan.advance_clock:
             self.provider.advance_time(duration)
         return NetworkProfile(
@@ -195,4 +222,5 @@ class NetworkMeasurer:
             sharing_model="hose",
             measured_at=started_at,
             measurement_duration_s=duration,
+            pair_measured_at=pair_times,
         )

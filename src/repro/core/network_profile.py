@@ -34,6 +34,11 @@ class NetworkProfile:
             that path's rate) — §4.4 finds "hose" on EC2 and Rackspace.
         measured_at: provider time at which the measurement was taken.
         measurement_duration_s: wall-clock cost of the measurement campaign.
+        pair_measured_at: provider time each ordered pair was probed; pairs
+            measured in later campaign rounds carry later timestamps, which
+            is what lets a TTL cache invalidate stale pairs selectively
+            instead of re-meshing the full N² campaign.  Pairs missing from
+            the map fall back to ``measured_at``.
     """
 
     vms: List[str]
@@ -44,6 +49,7 @@ class NetworkProfile:
     sharing_model: str = "hose"
     measured_at: float = 0.0
     measurement_duration_s: float = 0.0
+    pair_measured_at: Dict[Tuple[str, str], float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(set(self.vms)) != len(self.vms):
@@ -65,6 +71,11 @@ class NetworkProfile:
         for c in self.cross_traffic.values():
             if c < 0:
                 raise MeasurementError("cross traffic estimates must be >= 0")
+        for pair in self.pair_measured_at:
+            if pair not in self.rates_bps:
+                raise MeasurementError(
+                    f"pair_measured_at references unmeasured pair {pair!r}"
+                )
 
     # ------------------------------------------------------------- accessors
     def rate(self, src_vm: str, dst_vm: str) -> float:
@@ -81,6 +92,14 @@ class NetworkProfile:
     def has_pair(self, src_vm: str, dst_vm: str) -> bool:
         """True if the ordered pair was measured (self pairs always count)."""
         return src_vm == dst_vm or (src_vm, dst_vm) in self.rates_bps
+
+    def measured_at_pair(self, src_vm: str, dst_vm: str) -> float:
+        """When an ordered pair was last probed (campaign start as fallback)."""
+        if not self.has_pair(src_vm, dst_vm):
+            raise MeasurementError(
+                f"profile has no measurement for ({src_vm!r}, {dst_vm!r})"
+            )
+        return self.pair_measured_at.get((src_vm, dst_vm), self.measured_at)
 
     def cross(self, src_vm: str, dst_vm: str) -> float:
         """Cross-traffic estimate ``c`` for a pair (0 when not measured)."""

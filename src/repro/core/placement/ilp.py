@@ -70,7 +70,7 @@ import math
 import os
 import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import optimize, sparse
@@ -96,6 +96,44 @@ _EPS = 1e-9
 _WARM_SLACK = 1e-6
 
 FORMULATIONS = ("sparse", "dense")
+
+#: Below this assignment-grid size (tasks x machines) the auto-tuner keeps
+#: every machine: up to roughly 24 tasks on 24 machines HiGHS finds better
+#: incumbents unrestricted within ordinary per-cell budgets, so restricting
+#: there would trade exactness for nothing (measured in the ilp_scale
+#: bench's regime).
+_AUTO_EXACT_CELLS = 600
+#: Product-variable budget the auto-tuner sizes ``k`` against: under the
+#: hose model the sparse formulation materialises O(pairs x k) colocation
+#: variables, and HiGHS stays inside per-cell sweep budgets up to a few
+#: thousand of them.
+_AUTO_PRODUCT_BUDGET = 4000
+#: Never restrict below this many machines per task — the restriction is a
+#: heuristic and too-thin candidate sets trade exactness for nothing.
+_AUTO_MIN_K = 3
+
+
+def auto_candidate_k(
+    n_tasks: int, n_machines: int, n_pairs: Optional[int] = None
+) -> Optional[int]:
+    """Pick ``candidate_k`` from the instance size (``None`` = keep all).
+
+    Small instances (``tasks x machines <= _AUTO_EXACT_CELLS``) stay exact.
+    Larger ones get the largest ``k`` that keeps the product-variable count
+    near ``_AUTO_PRODUCT_BUDGET``, floored at ``_AUTO_MIN_K`` — this is what
+    lets budgeted sweeps scale past ~20 tasks without hand-tuning ``k`` per
+    scenario.  The infeasibility retry in the solver makes the restriction
+    safe regardless of how aggressive the tuner is.
+    """
+    if n_tasks < 1 or n_machines < 1:
+        raise PlacementError("auto_candidate_k needs a non-empty instance")
+    if n_pairs is None:
+        n_pairs = n_tasks * (n_tasks - 1) // 2
+    if n_tasks * n_machines <= _AUTO_EXACT_CELLS:
+        return None
+    k = _AUTO_PRODUCT_BUDGET // max(n_pairs, 1)
+    k = max(_AUTO_MIN_K, min(k, n_machines))
+    return None if k >= n_machines else k
 
 
 @contextlib.contextmanager
@@ -158,7 +196,9 @@ class OptimalPlacer(Placer):
             interchangeable machines (sparse formulation only).
         candidate_k: restrict each task to its top-k machines by greedy
             effective rate (plus the warm-start machine).  ``None`` keeps
-            every machine and is exact.
+            every machine and is exact; ``"auto"`` picks k per instance via
+            :func:`auto_candidate_k` (exact on small instances, budgeted on
+            large ones).
     """
 
     name = "choreo-optimal"
@@ -171,7 +211,7 @@ class OptimalPlacer(Placer):
         formulation: str = "sparse",
         warm_start: bool = True,
         symmetry_breaking: bool = True,
-        candidate_k: Optional[int] = None,
+        candidate_k: Union[int, str, None] = None,
     ):
         if model not in ("hose", "pipe"):
             raise PlacementError(f"unknown rate model {model!r}")
@@ -181,7 +221,13 @@ class OptimalPlacer(Placer):
             raise PlacementError(
                 f"unknown formulation {formulation!r}; known: {FORMULATIONS}"
             )
-        if candidate_k is not None and candidate_k < 1:
+        if isinstance(candidate_k, str):
+            if candidate_k != "auto":
+                raise PlacementError(
+                    f"candidate_k must be an int, None, or 'auto'; "
+                    f"got {candidate_k!r}"
+                )
+        elif candidate_k is not None and candidate_k < 1:
             raise PlacementError("candidate_k must be >= 1 (or None for all)")
         self.model = model
         self.time_limit_s = time_limit_s
@@ -190,6 +236,9 @@ class OptimalPlacer(Placer):
         self.warm_start = warm_start
         self.symmetry_breaking = symmetry_breaking
         self.candidate_k = candidate_k
+        #: The restriction used by the solve in flight (``"auto"`` resolved
+        #: per instance at :meth:`place` time).
+        self._active_candidate_k: Optional[int] = None
         #: Stats of the most recent :meth:`place` call.
         self.last_solve_stats: Optional[Dict[str, object]] = None
         #: ``(app_name, stats)`` per :meth:`place` call on this instance.
@@ -222,12 +271,19 @@ class OptimalPlacer(Placer):
                 )
 
         n_tasks, n_machines = len(tasks), len(machines)
+        if self.candidate_k == "auto":
+            self._active_candidate_k = auto_candidate_k(
+                n_tasks, n_machines, len(pairs)
+            )
+        else:
+            self._active_candidate_k = self.candidate_k
         stats: Dict[str, object] = {
             "formulation": self.formulation,
             "model": self.model,
             "n_tasks": n_tasks,
             "n_machines": n_machines,
             "n_pairs": len(pairs),
+            "candidate_k": self._active_candidate_k,
             "warm_start_accepted": incumbent is not None,
             "warm_bound_s": warm_bound,
             "fallback_used": False,
@@ -342,7 +398,8 @@ class OptimalPlacer(Placer):
         feasible = cpu_feasible_machines(app, cluster)
 
         restrict = (
-            self.candidate_k is not None and self.candidate_k < len(machines)
+            self._active_candidate_k is not None
+            and self._active_candidate_k < len(machines)
         )
         candidates = self._candidate_machines(
             app, tasks, machines, mach_index, feasible, profile, incumbent,
@@ -387,7 +444,7 @@ class OptimalPlacer(Placer):
         if restricted:
             scores = machine_rate_scores(profile, machines, model=self.model)
             ranked = sorted(machines, key=lambda m: (-scores[m], m))
-            top = set(ranked[: self.candidate_k])
+            top = set(ranked[: self._active_candidate_k])
         candidates: List[List[int]] = []
         for task in tasks:
             allowed = feasible[task]

@@ -42,3 +42,7 @@ class CloudError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the evaluation subsystem (unknown scenarios, bad grids)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the online placement service (bad timelines, predictors)."""

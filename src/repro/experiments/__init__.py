@@ -43,8 +43,10 @@ from repro.experiments.trials import WorkItem, run_trial, trial_seed
 from repro.experiments.scenarios import (
     MODE_BATCH,
     MODE_SEQUENCE,
+    MODE_SERVICE,
     ScenarioInstance,
     ScenarioSpec,
+    ServiceSettings,
     fresh_provider,
     get_scenario,
     list_scenarios,
@@ -78,8 +80,10 @@ __all__ = [
     "trial_seed",
     "MODE_BATCH",
     "MODE_SEQUENCE",
+    "MODE_SERVICE",
     "ScenarioInstance",
     "ScenarioSpec",
+    "ServiceSettings",
     "fresh_provider",
     "get_scenario",
     "list_scenarios",

@@ -111,8 +111,9 @@ def _greedy_factory(seed: int, **params) -> Placer:
 def _ilp_factory(seed: int, **params) -> Placer:
     """The sweep-grade ILP: warm-started, pruned, budgeted per cell.
 
-    ``candidate_k`` accepts an int, ``None``, or the string ``"all"`` (the
-    last two keep every machine and are exact).
+    ``candidate_k`` accepts an int, ``None``/``"all"`` (keep every machine,
+    exact), or ``"auto"`` (pick k from the instance size, the ROADMAP's
+    sweeps-past-20-tasks tuner).
     """
     opts = _pick(
         params,
@@ -129,7 +130,7 @@ def _ilp_factory(seed: int, **params) -> Placer:
     candidate_k = opts["candidate_k"]
     if candidate_k in (None, "all"):
         candidate_k = None
-    else:
+    elif candidate_k != "auto":
         candidate_k = int(candidate_k)  # type: ignore[arg-type]
     return OptimalPlacer(
         model=str(opts["model"]),

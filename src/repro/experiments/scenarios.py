@@ -38,6 +38,24 @@ from repro.workloads.patterns import mapreduce, scatter_gather, uniform_mesh
 #: How a scenario's applications are executed by the runner.
 MODE_BATCH = "batch"  #: all applications placed at time zero, run together
 MODE_SEQUENCE = "sequence"  #: applications arrive and are placed one by one (§2.4)
+MODE_SERVICE = "service"  #: streamed through the online placement service
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """How a :data:`MODE_SERVICE` scenario drives the placement service.
+
+    The *placer* stays a grid dimension; these settings pin the service's
+    own knobs (predictor, horizon, migration) per scenario cell, so sweeps
+    compare predictor choices x placers under drift via
+    ``--param predictor=...``.
+    """
+
+    predictor: str = "combined"
+    hours: float = 6.0
+    ttl_s: Optional[float] = None
+    migrate: bool = True
+    improvement_threshold: float = 0.1
 
 
 @dataclass
@@ -49,11 +67,13 @@ class ScenarioInstance:
             requested.
         cluster: the tenant's machines as a placement cluster.
         apps: the applications to place (start times matter in
-            ``sequence`` mode).
+            ``sequence`` and ``service`` modes).
         background: cross-traffic flows sharing the network with the
             tenant's applications; they must be finite (have a size or an
             end time) so simulations terminate.
-        mode: :data:`MODE_BATCH` or :data:`MODE_SEQUENCE`.
+        mode: :data:`MODE_BATCH`, :data:`MODE_SEQUENCE`, or
+            :data:`MODE_SERVICE`.
+        service: service-mode settings (required for :data:`MODE_SERVICE`).
     """
 
     provider: CloudProvider
@@ -61,12 +81,17 @@ class ScenarioInstance:
     apps: List[Application]
     background: List[VMFlow] = field(default_factory=list)
     mode: str = MODE_BATCH
+    service: Optional[ServiceSettings] = None
 
     def __post_init__(self) -> None:
-        if self.mode not in (MODE_BATCH, MODE_SEQUENCE):
+        if self.mode not in (MODE_BATCH, MODE_SEQUENCE, MODE_SERVICE):
             raise ExperimentError(f"unknown scenario mode {self.mode!r}")
         if not self.apps:
             raise ExperimentError("a scenario instance needs at least one application")
+        if self.mode == MODE_SERVICE and self.service is None:
+            raise ExperimentError(
+                "service-mode scenarios must supply ServiceSettings"
+            )
         for flow in self.background:
             if flow.size_bytes is None and flow.end_time is None:
                 raise ExperimentError(
@@ -361,21 +386,49 @@ def _build_hetero_topology(
     description=(
         "Replay sFlow-like flow-record traces through the full "
         "profile->measure->place pipeline: applications are profiled from "
-        "records, then placed as they arrive (§2.1, §6.1)."
+        "records, then placed as they arrive (§2.1, §6.1).  With "
+        "trace_path, the records come from a recorded CSV/JSONL file on "
+        "disk instead of being generated."
     ),
     tags=("ec2", "trace", "sequence"),
     defaults={
         "n_vms": 10, "n_apps": 3, "records_per_pair": 4, "arrival_gap_s": 45.0,
+        "trace_path": "",
     },
 )
 def _build_trace_replay(
-    seed: int, n_vms: int, n_apps: int, records_per_pair: int, arrival_gap_s: float
+    seed: int, n_vms: int, n_apps: int, records_per_pair: int,
+    arrival_gap_s: float, trace_path: str,
 ) -> ScenarioInstance:
     # Import here: core.profiler is a consumer of workloads, and scenarios
     # otherwise stay importable without the placement stack.
     from repro.core.profiler import ApplicationProfiler
 
     provider, cluster = fresh_provider("ec2", seed=seed, n_vms=int(n_vms))
+    profiler = ApplicationProfiler()
+
+    if trace_path:
+        # Recorded replay: the trace is the only ground truth.  CPU demands
+        # are not part of flow records, so the profiler's default applies.
+        from repro.workloads.trace import load_trace
+
+        records = load_trace(str(trace_path))
+        if not records:
+            raise ExperimentError(f"trace {trace_path!r} contains no records")
+        app_names = sorted(
+            {record.application for record in records},
+            key=lambda name: min(
+                r.timestamp for r in records if r.application == name
+            ),
+        )
+        apps = [
+            profiler.profile_application(records, name)
+            for name in app_names
+        ]
+        return ScenarioInstance(
+            provider=provider, cluster=cluster, apps=apps, mode=MODE_SEQUENCE
+        )
+
     gen = HPCloudWorkloadGenerator(_light_workload_spec(max_tasks=6), seed=seed)
     # Ground truth: generated applications, exploded into flow records as a
     # network monitor would report them...
@@ -395,7 +448,6 @@ def _build_trace_replay(
     records.sort(key=lambda record: record.timestamp)
     # ...then what the placer actually sees: applications re-profiled from
     # the trace.  CPU demands come from the tenant (traces carry none).
-    profiler = ApplicationProfiler()
     apps = [
         profiler.profile_application(
             records,
@@ -489,6 +541,65 @@ def _build_rack_hotspot(
         volume *= 0.85
     app = Application(name="hotspot-chain", tasks=tasks, traffic=traffic)
     return ScenarioInstance(provider=provider, cluster=cluster, apps=[app])
+
+
+@scenario(
+    "service-churn",
+    description=(
+        "A churn session through the online placement service: hourly "
+        "ground-truth matrices drift (random-walk / diurnal / hotspot-flap) "
+        "while applications stream in; placements use §6.1 predictor "
+        "forecasts, and running apps migrate at epoch ticks.  Sweep "
+        "`predictor` (stale / previous-hour / time-of-day / combined / "
+        "oracle) x placers to reproduce the §6.1 claim under drift."
+    ),
+    tags=("ec2", "service", "drift"),
+    defaults={
+        "n_vms": 8,
+        "hours": 4,
+        "drift": "hotspot-flap",
+        "predictor": "combined",
+        "apps_per_hour": 1.5,
+        "epoch_s": 300.0,
+        "migrate": True,
+    },
+)
+def _build_service_churn(
+    seed: int,
+    n_vms: int,
+    hours: float,
+    drift: str,
+    predictor: str,
+    apps_per_hour: float,
+    epoch_s: float,
+    migrate: bool,
+) -> ScenarioInstance:
+    # Imported here so the scenario registry stays importable without the
+    # service stack (and because repro.service.session resolves placers
+    # through this package — a module-level import would be circular).
+    from repro.service.forecast import validate_predictor
+    from repro.service.session import build_churn_session
+
+    validate_predictor(str(predictor))
+    provider, cluster, apps, _timeline = build_churn_session(
+        seed,
+        n_vms=int(n_vms),
+        hours=float(hours),
+        drift=str(drift),
+        apps_per_hour=float(apps_per_hour),
+        epoch_s=float(epoch_s),
+    )
+    return ScenarioInstance(
+        provider=provider,
+        cluster=cluster,
+        apps=apps,
+        mode=MODE_SERVICE,
+        service=ServiceSettings(
+            predictor=str(predictor),
+            hours=float(hours),
+            migrate=bool(migrate),
+        ),
+    )
 
 
 @scenario(

@@ -26,7 +26,9 @@ from repro.experiments.placers import get_placer
 from repro.experiments.results import TrialRecord
 from repro.experiments.scenarios import (
     MODE_SEQUENCE,
+    MODE_SERVICE,
     ScenarioInstance,
+    ServiceSettings,
     get_scenario,
 )
 from repro.runtime.executor import run_applications
@@ -68,6 +70,8 @@ def run_trial(
         record.n_vms = len(instance.cluster.machines)
         if instance.mode == MODE_SEQUENCE:
             _run_sequence_trial(instance, placer_name, seed, record, placer_params)
+        elif instance.mode == MODE_SERVICE:
+            _run_service_trial(instance, placer_name, seed, record, placer_params)
         else:
             _run_batch_trial(instance, placer_name, seed, record, placer_params)
     except ReproError as exc:
@@ -240,6 +244,50 @@ def _run_sequence_trial(
         if profile is not None
     )
     _fill_run_metrics(record, result.runs.values())
+
+
+def _run_service_trial(
+    instance: ScenarioInstance,
+    placer_name: str,
+    seed: int,
+    record: TrialRecord,
+    placer_params: Optional[Mapping[str, object]] = None,
+) -> None:
+    """Stream the applications through the online placement service.
+
+    The per-application metric is admission-to-completion time; rejected
+    applications (CPU-infeasible at their arrival) are excluded from the
+    timing sums but surface in ``solver_stats``-style accounting via the
+    per-app map (their duration is absent).
+    """
+    # Local import: repro.service resolves placers through this package's
+    # registry, so a module-level import would be circular.
+    from repro.service.engine import PlacementService
+
+    placer_spec = get_placer(placer_name)
+    placer = placer_spec.create(seed, placer_params)
+    settings = instance.service or ServiceSettings()
+    service = PlacementService(
+        instance.provider,
+        instance.cluster,
+        placer,
+        predictor=settings.predictor,
+        ttl_s=settings.ttl_s,
+        migrate=settings.migrate,
+        improvement_threshold=settings.improvement_threshold,
+    )
+    report = service.run_session(instance.apps, hours=settings.hours)
+    record.placement_wall_s = report.placement_wall_s
+    record.measurement_overhead_s = float(
+        report.measurement.get("measurement_time_s", 0.0)
+    )
+    completed = report.completed()
+    record.per_app_duration_s = {a.name: a.duration for a in completed}
+    record.total_running_time_s = report.total_completion_time_s
+    if completed:
+        record.makespan_s = max(a.completed_at for a in completed) - min(
+            a.arrived_at for a in completed
+        )
 
 
 def _fill_run_metrics(record: TrialRecord, runs) -> None:

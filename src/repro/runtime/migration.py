@@ -20,7 +20,7 @@ placement).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.provider import CloudProvider, VMFlow
@@ -44,9 +44,66 @@ class MigrationEvent:
     estimated_gain_fraction: float
 
 
+def propose_migration(
+    placer: Placer,
+    remaining_app: Application,
+    current: Placement,
+    cluster: ClusterState,
+    profile: NetworkProfile,
+    now: float,
+    improvement_threshold: float = 0.05,
+    rate_model: str = "hose",
+) -> Optional[Tuple[Placement, MigrationEvent]]:
+    """The §2.4 re-evaluation decision for one running application.
+
+    Re-places the application's *remaining* traffic on ``cluster`` (which
+    must exclude the application's own CPU) under ``profile`` and accepts
+    the candidate only when its estimated completion time beats the current
+    placement's by more than ``improvement_threshold``.
+
+    Returns ``(new_placement, event)`` when the application should migrate,
+    ``None`` otherwise.  Shared by :class:`MigratingSequenceRunner` (clock
+    ticks) and the online service's predictor-triggered re-evaluation
+    (epoch boundaries, forecast profiles).
+    """
+    candidate = placer.place(remaining_app, cluster, profile)
+    if candidate.assignments == current.assignments:
+        return None
+    current_estimate = estimate_completion_time(
+        current.assignments, remaining_app, profile, model=rate_model
+    )
+    candidate_estimate = estimate_completion_time(
+        candidate.assignments, remaining_app, profile, model=rate_model
+    )
+    if current_estimate <= 0:
+        return None
+    gain = (current_estimate - candidate_estimate) / current_estimate
+    if gain <= improvement_threshold:
+        return None
+    moved = tuple(
+        sorted(
+            task
+            for task, machine in candidate.assignments.items()
+            if current.assignments.get(task) != machine
+        )
+    )
+    event = MigrationEvent(
+        time_s=now,
+        app_name=remaining_app.name,
+        moved_tasks=moved,
+        estimated_gain_fraction=gain,
+    )
+    return candidate, event
+
+
 @dataclass
-class _RunningApp:
-    """Book-keeping for an application while it is running."""
+class LiveApp:
+    """Book-keeping for an application while it is running.
+
+    Shared by the §2.4 :class:`MigratingSequenceRunner` and the online
+    placement service: both track, per admitted application, its current
+    placement and the bytes each task pair still has to move.
+    """
 
     app: Application
     placement: Placement
@@ -70,6 +127,111 @@ class _RunningApp:
             traffic=traffic,
             start_time=self.app.start_time,
         )
+
+    def live_flows(self, start: float) -> List[VMFlow]:
+        """The remaining transfers as VM flows starting at ``start``.
+
+        Task pairs whose endpoints share a VM under the *current* placement
+        move their bytes off-network immediately (their remaining volume is
+        zeroed), exactly as :func:`~repro.runtime.executor.placement_to_flows`
+        accounts colocated bytes.
+        """
+        flows: List[VMFlow] = []
+        for index, ((src_task, dst_task), volume) in enumerate(
+            sorted(self.remaining.items())
+        ):
+            if volume <= 1e-6:
+                continue
+            src_vm = self.placement.machine_of(src_task)
+            dst_vm = self.placement.machine_of(dst_task)
+            if src_vm == dst_vm:
+                self.remaining[(src_task, dst_task)] = 0.0
+                continue
+            flows.append(
+                VMFlow(
+                    flow_id=f"{self.app.name}:{index}:{src_task}->{dst_task}",
+                    src_vm=src_vm,
+                    dst_vm=dst_vm,
+                    size_bytes=volume,
+                    start_time=start,
+                    tag=self.app.name,
+                )
+            )
+        return flows
+
+
+def live_background_flows(
+    running: Dict[str, LiveApp], now: float, exclude: Optional[str] = None
+) -> List[VMFlow]:
+    """Every active application's remaining flows (cross traffic for
+    measurements and admissions), optionally excluding one application."""
+    flows: List[VMFlow] = []
+    for name, state in running.items():
+        if name == exclude or state.done:
+            continue
+        flows.extend(state.live_flows(start=now))
+    return flows
+
+
+def cluster_with_live_usage(
+    cluster: ClusterState,
+    running: Dict[str, LiveApp],
+    exclude: Optional[str] = None,
+) -> ClusterState:
+    """``cluster`` with the CPU of active applications applied, optionally
+    excluding one application (re-placing it must free its own cores)."""
+    usage: Dict[str, float] = {}
+    for name, state in running.items():
+        if name == exclude or state.done:
+            continue
+        for machine, cores in state.placement.cpu_usage(state.app).items():
+            usage[machine] = usage.get(machine, 0.0) + cores
+    return cluster.with_usage(usage)
+
+
+def advance_live_apps(
+    provider: CloudProvider,
+    running: Dict[str, LiveApp],
+    start: float,
+    until: Optional[float],
+) -> None:
+    """Run every active application's remaining flows from ``start``.
+
+    Simulates the flows on the provider's network (at the provider's
+    *current* rates — callers segment time so rates are constant within a
+    call), debits each pair's remaining bytes, and stamps ``completed_at``
+    on applications whose last flow finished within the segment.
+    """
+    flow_owner: Dict[str, Tuple[str, Tuple[str, str]]] = {}
+    all_flows: List[VMFlow] = []
+    for name, state in running.items():
+        if state.done:
+            continue
+        for flow in state.live_flows(start=start):
+            task_pair = tuple(flow.flow_id.split(":", 2)[2].split("->"))
+            flow_owner[flow.flow_id] = (name, (task_pair[0], task_pair[1]))
+            all_flows.append(flow)
+    if not all_flows:
+        return
+    result = provider.simulate(all_flows, until=until)
+    for flow in all_flows:
+        name, pair = flow_owner[flow.flow_id]
+        state = running[name]
+        if flow.flow_id in result.completion_times:
+            state.remaining[pair] = 0.0
+        else:
+            state.remaining[pair] = result.remaining_bytes.get(
+                flow.flow_id, state.remaining[pair]
+            )
+    for name, state in running.items():
+        if state.completed_at is None and state.done and not state.app.num_tasks == 0:
+            finish_times = [
+                result.completion_times[flow.flow_id]
+                for flow in all_flows
+                if flow_owner[flow.flow_id][0] == name
+                and flow.flow_id in result.completion_times
+            ]
+            state.completed_at = max(finish_times, default=start)
 
 
 class MigratingSequenceRunner:
@@ -108,7 +270,7 @@ class MigratingSequenceRunner:
         ordered = sorted(apps, key=lambda a: (a.start_time, a.name))
         self.migrations = []
 
-        running: Dict[str, _RunningApp] = {}
+        running: Dict[str, LiveApp] = {}
         placements: Dict[str, Placement] = {}
         arrivals = {app.start_time for app in ordered}
         pending = list(ordered)
@@ -130,7 +292,7 @@ class MigratingSequenceRunner:
 
             if math.isinf(horizon):
                 horizon = None  # run the remaining flows to completion
-            self._advance(running, now, horizon)
+            advance_live_apps(self.provider, running, now, horizon)
             if horizon is None:
                 break
             now = horizon
@@ -154,51 +316,10 @@ class MigratingSequenceRunner:
         return SequenceResult(runs=runs, placements=placements)
 
     # ------------------------------------------------------------- internals
-    def _cluster_now(self, running: Dict[str, _RunningApp]) -> ClusterState:
-        usage: Dict[str, float] = {}
-        for state in running.values():
-            if state.done:
-                continue
-            for machine, cores in state.placement.cpu_usage(state.app).items():
-                usage[machine] = usage.get(machine, 0.0) + cores
-        return self.cluster.with_usage(usage)
-
-    def _background_flows(
-        self, running: Dict[str, _RunningApp], now: float, exclude: Optional[str] = None
-    ) -> List[VMFlow]:
-        flows: List[VMFlow] = []
-        for name, state in running.items():
-            if name == exclude or state.done:
-                continue
-            flows.extend(self._flows_for(state, start=now))
-        return flows
-
-    def _flows_for(self, state: _RunningApp, start: float) -> List[VMFlow]:
-        flows: List[VMFlow] = []
-        for index, ((src_task, dst_task), volume) in enumerate(sorted(state.remaining.items())):
-            if volume <= 1e-6:
-                continue
-            src_vm = state.placement.machine_of(src_task)
-            dst_vm = state.placement.machine_of(dst_task)
-            if src_vm == dst_vm:
-                state.remaining[(src_task, dst_task)] = 0.0
-                continue
-            flows.append(
-                VMFlow(
-                    flow_id=f"{state.app.name}:{index}:{src_task}->{dst_task}",
-                    src_vm=src_vm,
-                    dst_vm=dst_vm,
-                    size_bytes=volume,
-                    start_time=start,
-                    tag=state.app.name,
-                )
-            )
-        return flows
-
     def _admit(
         self,
         pending: List[Application],
-        running: Dict[str, _RunningApp],
+        running: Dict[str, LiveApp],
         placements: Dict[str, Placement],
         now: float,
     ) -> List[Application]:
@@ -206,14 +327,14 @@ class MigratingSequenceRunner:
         remaining_pending = list(pending)
         while remaining_pending and remaining_pending[0].start_time <= now + 1e-9:
             app = remaining_pending.pop(0)
-            background = self._background_flows(running, now)
-            cluster_now = self._cluster_now(running)
+            background = live_background_flows(running, now)
+            cluster_now = cluster_with_live_usage(self.cluster, running)
             profile = self.measurer.measure(
                 cluster_now.machine_names(), background=background
             )
             placement = self.placer.place(app, cluster_now, profile)
             placements[app.name] = placement
-            running[app.name] = _RunningApp(
+            running[app.name] = LiveApp(
                 app=app,
                 placement=placement,
                 remaining={(s, d): v for s, d, v in app.transfers()},
@@ -221,47 +342,9 @@ class MigratingSequenceRunner:
             )
         return remaining_pending
 
-    def _advance(
-        self,
-        running: Dict[str, _RunningApp],
-        start: float,
-        until: Optional[float],
-    ) -> None:
-        """Run every active application's remaining flows from ``start``."""
-        flow_owner: Dict[str, Tuple[str, Tuple[str, str]]] = {}
-        all_flows: List[VMFlow] = []
-        for name, state in running.items():
-            if state.done:
-                continue
-            for flow in self._flows_for(state, start=start):
-                task_pair = tuple(flow.flow_id.split(":", 2)[2].split("->"))
-                flow_owner[flow.flow_id] = (name, (task_pair[0], task_pair[1]))
-                all_flows.append(flow)
-        if not all_flows:
-            return
-        result = self.provider.simulate(all_flows, until=until)
-        for flow in all_flows:
-            name, pair = flow_owner[flow.flow_id]
-            state = running[name]
-            if flow.flow_id in result.completion_times:
-                state.remaining[pair] = 0.0
-            else:
-                state.remaining[pair] = result.remaining_bytes.get(
-                    flow.flow_id, state.remaining[pair]
-                )
-        for name, state in running.items():
-            if state.completed_at is None and state.done and not state.app.num_tasks == 0:
-                finish_times = [
-                    result.completion_times[flow.flow_id]
-                    for flow in all_flows
-                    if flow_owner[flow.flow_id][0] == name
-                    and flow.flow_id in result.completion_times
-                ]
-                state.completed_at = max(finish_times, default=start)
-
     def _reevaluate(
         self,
-        running: Dict[str, _RunningApp],
+        running: Dict[str, LiveApp],
         placements: Dict[str, Placement],
         now: float,
     ) -> None:
@@ -272,39 +355,26 @@ class MigratingSequenceRunner:
             remaining_app = state.remaining_application()
             if remaining_app.total_bytes <= 0:
                 continue
-            background = self._background_flows(running, now, exclude=name)
-            cluster_now = self._cluster_now({k: v for k, v in running.items() if k != name})
+            background = live_background_flows(running, now, exclude=name)
+            cluster_now = cluster_with_live_usage(
+                self.cluster, running, exclude=name
+            )
             profile = self.measurer.measure(
                 cluster_now.machine_names(), background=background
             )
-            candidate = self.placer.place(remaining_app, cluster_now, profile)
-            if candidate.assignments == state.placement.assignments:
+            proposal = propose_migration(
+                self.placer,
+                remaining_app,
+                state.placement,
+                cluster_now,
+                profile,
+                now=now,
+                improvement_threshold=self.improvement_threshold,
+                rate_model=self.rate_model,
+            )
+            if proposal is None:
                 continue
-            current_estimate = estimate_completion_time(
-                state.placement.assignments, remaining_app, profile, model=self.rate_model
-            )
-            candidate_estimate = estimate_completion_time(
-                candidate.assignments, remaining_app, profile, model=self.rate_model
-            )
-            if current_estimate <= 0:
-                continue
-            gain = (current_estimate - candidate_estimate) / current_estimate
-            if gain <= self.improvement_threshold:
-                continue
-            moved = tuple(
-                sorted(
-                    task
-                    for task, machine in candidate.assignments.items()
-                    if state.placement.assignments.get(task) != machine
-                )
-            )
-            self.migrations.append(
-                MigrationEvent(
-                    time_s=now,
-                    app_name=name,
-                    moved_tasks=moved,
-                    estimated_gain_fraction=gain,
-                )
-            )
+            candidate, event = proposal
+            self.migrations.append(event)
             state.placement = candidate
             placements[name] = candidate

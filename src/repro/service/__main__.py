@@ -1,0 +1,193 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Two commands:
+
+* ``list`` — show the available drift generators and predictors;
+* ``run`` — run one churn session (streaming admission over a drifting
+  network) and, unless ``--no-oracle``, a paired oracle session on the same
+  seed; prints per-application completion vs. the oracle and the predictor's
+  regret, and writes the structured JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.service.forecast import PREDICTOR_NAMES
+from repro.service.session import build_churn_session, run_churn_session
+from repro.service.timeline import DEFAULT_EPOCH_S, DRIFT_NAMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description=(
+            "Online placement service: admit a stream of applications onto "
+            "a time-varying cloud, forecasting next-epoch rates with the "
+            "paper's §6.1 predictors."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list drift generators and predictors")
+
+    run_cmd = sub.add_parser("run", help="run one churn session")
+    run_cmd.add_argument("--hours", type=float, default=6.0,
+                         help="admission horizon in epochs (default 6)")
+    run_cmd.add_argument("--drift", default="random-walk", choices=DRIFT_NAMES)
+    run_cmd.add_argument(
+        "--drift-strength", type=float, default=None,
+        help="generator knob (walk sigma / diurnal amplitude / flap fraction)",
+    )
+    run_cmd.add_argument(
+        "--predictor", default="combined", choices=PREDICTOR_NAMES,
+    )
+    run_cmd.add_argument("--placer", default="greedy",
+                         help="placer registry name (aliases accepted)")
+    run_cmd.add_argument("--n-vms", type=int, default=8)
+    run_cmd.add_argument("--apps-per-hour", type=float, default=1.5)
+    run_cmd.add_argument("--max-tasks", type=int, default=6)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--epoch-s", type=float, default=DEFAULT_EPOCH_S,
+                         help="epoch length in seconds (default: one hour)")
+    run_cmd.add_argument(
+        "--ttl-s", type=float, default=None,
+        help="measurement-cache TTL (default: half an epoch)",
+    )
+    run_cmd.add_argument("--no-migrate", action="store_true",
+                         help="disable §2.4 re-evaluation at epoch ticks")
+    run_cmd.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the paired oracle session (no regret report)",
+    )
+    run_cmd.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="replay a recorded timeline JSON instead of generating one",
+    )
+    run_cmd.add_argument(
+        "--save-timeline", default=None, metavar="PATH",
+        help="write the session's (generated or loaded) timeline to PATH",
+    )
+    run_cmd.add_argument("--output", default="service_report.json",
+                         help="where to write the JSON report ('' disables)")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("drift generators:", ", ".join(DRIFT_NAMES))
+    print("predictors:      ", ", ".join(PREDICTOR_NAMES))
+    print("(oracle reads true rates off the timeline; stale freezes the "
+          "hour-0 profile)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    session_kwargs = dict(
+        n_vms=args.n_vms,
+        hours=args.hours,
+        drift=args.drift,
+        drift_strength=args.drift_strength,
+        apps_per_hour=args.apps_per_hour,
+        max_tasks=args.max_tasks,
+        epoch_s=args.epoch_s,
+        timeline_path=args.timeline,
+    )
+    if args.save_timeline:
+        _, _, _, timeline = build_churn_session(args.seed, **session_kwargs)
+        timeline.save(args.save_timeline)
+        print(f"wrote timeline to {args.save_timeline}", file=sys.stderr)
+
+    report = run_churn_session(
+        args.seed,
+        predictor=args.predictor,
+        placer=args.placer,
+        migrate=not args.no_migrate,
+        ttl_s=args.ttl_s,
+        **session_kwargs,
+    )
+    oracle = None
+    if not args.no_oracle and args.predictor != "oracle":
+        oracle = run_churn_session(
+            args.seed,
+            predictor="oracle",
+            placer=args.placer,
+            migrate=not args.no_migrate,
+            ttl_s=args.ttl_s,
+            **session_kwargs,
+        )
+
+    print(
+        f"session: {args.hours:g} epoch(s) of {args.epoch_s:g}s, drift "
+        f"{args.drift}, predictor {args.predictor}, placer {args.placer}, "
+        f"seed {args.seed}"
+    )
+    oracle_by_name = (
+        {a.name: a for a in oracle.apps} if oracle is not None else {}
+    )
+    for outcome in report.apps:
+        if outcome.status != "completed":
+            print(f"  {outcome.name:<10} rejected ({outcome.error})")
+            continue
+        line = (
+            f"  {outcome.name:<10} arrived {outcome.arrived_at:8.0f}s  "
+            f"completed in {outcome.duration:9.1f}s"
+        )
+        ref = oracle_by_name.get(outcome.name)
+        if ref is not None and ref.duration:
+            line += (
+                f"  (oracle {ref.duration:9.1f}s, "
+                f"regret {100.0 * (outcome.duration / ref.duration - 1.0):+6.1f}%)"
+            )
+        if outcome.migrations:
+            line += f"  [{outcome.migrations} migration(s)]"
+        print(line)
+
+    completed = report.completed()
+    print(
+        f"completed {len(completed)}/{len(report.apps)} app(s), "
+        f"{len(report.migrations)} migration(s), "
+        f"measured {report.measurement.get('pairs_measured', 0)} pair(s) in "
+        f"{report.measurement.get('campaigns', 0)} campaign(s) "
+        f"(reused {report.measurement.get('pairs_reused', 0)})"
+    )
+    payload = {"report": report.to_json_dict()}
+    if completed:
+        print(f"mean completion time: {report.mean_completion_time_s:.1f}s")
+    if oracle is not None and completed and oracle.completed():
+        regret = (
+            report.mean_completion_time_s / oracle.mean_completion_time_s - 1.0
+        )
+        print(
+            f"oracle mean completion time: "
+            f"{oracle.mean_completion_time_s:.1f}s "
+            f"-> mean regret {100.0 * regret:+.1f}%"
+        )
+        payload["oracle_report"] = oracle.to_json_dict()
+        payload["mean_regret_vs_oracle"] = round(regret, 6)
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

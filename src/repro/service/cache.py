@@ -1,0 +1,131 @@
+"""Measurement cache with per-pair TTL (the service's view of the mesh).
+
+A long-running service cannot afford a full N² campaign at every admission
+and every epoch tick.  :class:`MeasurementCache` keeps the last measured
+rate and timestamp per ordered pair (the timestamps come from
+:attr:`~repro.core.network_profile.NetworkProfile.pair_measured_at`) and,
+on refresh, asks the measurer to re-probe only the pairs whose age exceeds
+the TTL — the rest of the mesh is served from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.provider import VMFlow
+from repro.core.measurement.orchestrator import NetworkMeasurer
+from repro.core.network_profile import NetworkProfile
+from repro.errors import ServiceError
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how much mesh work the TTL cache avoided."""
+
+    campaigns: int = 0
+    pairs_measured: int = 0
+    pairs_reused: int = 0
+    measurement_time_s: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "campaigns": self.campaigns,
+            "pairs_measured": self.pairs_measured,
+            "pairs_reused": self.pairs_reused,
+            "measurement_time_s": round(self.measurement_time_s, 3),
+        }
+
+
+class MeasurementCache:
+    """Keeps per-pair rates fresh within a TTL, re-probing selectively.
+
+    Args:
+        measurer: the campaign runner (its plan controls method and
+            parallelism; the service uses ``advance_clock=False`` plans and
+            accounts measurement time explicitly).
+        vms: the ordered mesh to cover.
+        ttl_s: maximum age before a pair is considered stale.  The default
+            of one hour matches the paper's hourly predictability grain.
+    """
+
+    def __init__(
+        self,
+        measurer: NetworkMeasurer,
+        vms: Sequence[str],
+        ttl_s: float = 3600.0,
+    ):
+        if ttl_s <= 0:
+            raise ServiceError("ttl_s must be positive")
+        if len(vms) < 2:
+            raise ServiceError("the measurement cache needs at least two VMs")
+        self.measurer = measurer
+        self.vms = list(vms)
+        self.ttl_s = ttl_s
+        self._rates: Dict[Tuple[str, str], float] = {}
+        self._measured_at: Dict[Tuple[str, str], float] = {}
+        self.stats = CacheStats()
+
+    # -------------------------------------------------------------- queries
+    def mesh_pairs(self) -> List[Tuple[str, str]]:
+        """Every ordered pair of the covered mesh."""
+        return [(s, d) for s in self.vms for d in self.vms if s != d]
+
+    def stale_pairs(self, now: float) -> List[Tuple[str, str]]:
+        """Pairs never measured or older than the TTL at ``now``."""
+        return [
+            pair
+            for pair in self.mesh_pairs()
+            if pair not in self._measured_at
+            or now - self._measured_at[pair] > self.ttl_s
+        ]
+
+    def age_of(self, pair: Tuple[str, str], now: float) -> Optional[float]:
+        """Age of a pair's measurement, ``None`` when never measured."""
+        measured = self._measured_at.get(pair)
+        return None if measured is None else now - measured
+
+    # -------------------------------------------------------------- refresh
+    def refresh(
+        self,
+        now: float,
+        background: Sequence[VMFlow] = (),
+        force: bool = False,
+    ) -> NetworkProfile:
+        """Re-probe stale pairs and return the merged full-mesh profile.
+
+        Args:
+            now: current provider time (ages are computed against it).
+            background: flows the campaign should see as cross traffic.
+            force: re-probe the full mesh regardless of age.
+        """
+        stale = self.mesh_pairs() if force else self.stale_pairs(now)
+        if stale:
+            fresh = self.measurer.measure(
+                self.vms, background=background, pairs=stale
+            )
+            for pair, rate in fresh.rates_bps.items():
+                self._rates[pair] = rate
+                self._measured_at[pair] = fresh.measured_at_pair(*pair)
+            self.stats.campaigns += 1
+            self.stats.pairs_measured += len(stale)
+            self.stats.measurement_time_s += fresh.measurement_duration_s
+        self.stats.pairs_reused += len(self.mesh_pairs()) - len(stale)
+        return self.profile(now)
+
+    def profile(self, now: float) -> NetworkProfile:
+        """The cache's current view as a full-mesh :class:`NetworkProfile`."""
+        missing = [p for p in self.mesh_pairs() if p not in self._rates]
+        if missing:
+            raise ServiceError(
+                f"measurement cache has never measured {len(missing)} pair(s); "
+                "call refresh() first"
+            )
+        return NetworkProfile(
+            vms=list(self.vms),
+            rates_bps=dict(self._rates),
+            sharing_model="hose",
+            measured_at=now,
+            measurement_duration_s=0.0,
+            pair_measured_at=dict(self._measured_at),
+        )

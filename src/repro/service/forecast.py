@@ -1,0 +1,129 @@
+"""Next-epoch rate forecasts from the §6.1 predictors.
+
+The service records, per ordered VM pair, the rate observed during each
+completed epoch, and forecasts the coming epoch by running one of the
+paper's predictors over that series: ``previous-hour`` (last epoch's
+value), ``time-of-day`` (mean of the same epoch-of-day on prior days),
+``combined`` (average of the two, the paper's best), or ``stale`` (the
+hour-0 value, the frozen-profile control every offline scenario implicitly
+uses).  The ``oracle`` predictor is resolved by the engine — it reads true
+rates off the ground-truth timeline and never measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.network_profile import NetworkProfile
+from repro.errors import ServiceError
+from repro.workloads.predictability import (
+    combined_predictor,
+    previous_hour_predictor,
+    time_of_day_predictor,
+)
+
+#: Predictors the forecaster itself can run (the engine adds ``oracle``).
+HISTORY_PREDICTORS: Tuple[str, ...] = (
+    "previous-hour", "time-of-day", "combined", "stale",
+)
+
+#: Every predictor a service session accepts.
+PREDICTOR_NAMES: Tuple[str, ...] = HISTORY_PREDICTORS + ("oracle",)
+
+_PREDICTOR_FNS = {
+    "previous-hour": previous_hour_predictor,
+    "time-of-day": time_of_day_predictor,
+    "combined": combined_predictor,
+}
+
+
+def validate_predictor(name: str) -> str:
+    """Return ``name`` if it is a known predictor, raise otherwise."""
+    if name not in PREDICTOR_NAMES:
+        raise ServiceError(
+            f"unknown predictor {name!r}; known: {list(PREDICTOR_NAMES)}"
+        )
+    return name
+
+
+class RateForecaster:
+    """Per-pair epoch series plus §6.1 prediction on top of them.
+
+    The series are epoch-indexed; epochs in which a pair went unmeasured
+    carry the last known value forward (the cache serves the same value, so
+    the series reflects what the service believed).
+    """
+
+    def __init__(self, predictor: str = "combined"):
+        if predictor not in HISTORY_PREDICTORS:
+            raise ServiceError(
+                f"forecaster predictor must be one of {list(HISTORY_PREDICTORS)}, "
+                f"got {predictor!r}"
+            )
+        self.predictor = predictor
+        self._series: Dict[Tuple[str, str], List[float]] = {}
+        self._recorded_through = -1
+
+    @property
+    def epochs_recorded(self) -> int:
+        """How many completed epochs the history covers."""
+        return self._recorded_through + 1
+
+    def record_epoch(self, epoch: int, profile: NetworkProfile) -> None:
+        """Store the rates observed during ``epoch`` (monotonic, gap-free).
+
+        Args:
+            epoch: the *completed* epoch index the observations belong to.
+            profile: the cache's merged view at the end of that epoch.
+        """
+        if epoch != self._recorded_through + 1:
+            raise ServiceError(
+                f"epochs must be recorded in order; expected "
+                f"{self._recorded_through + 1}, got {epoch}"
+            )
+        for pair, rate in profile.rates_bps.items():
+            series = self._series.setdefault(pair, [])
+            while len(series) < epoch:
+                # Pair first observed mid-session: backfill with its first
+                # observation so predictor indices line up with epochs.
+                series.append(rate)
+            series.append(rate)
+        self._recorded_through = epoch
+
+    def forecast_pair(self, pair: Tuple[str, str], epoch: int) -> Optional[float]:
+        """Forecast one pair's rate for ``epoch`` (``None`` without history)."""
+        series = self._series.get(pair)
+        if not series:
+            return None
+        history = series[: min(epoch, len(series))]
+        if not history:
+            return None
+        if self.predictor == "stale":
+            return history[0]
+        predicted = _PREDICTOR_FNS[self.predictor](history, len(history))
+        return predicted if predicted is not None else history[-1]
+
+    def forecast_profile(
+        self,
+        current: NetworkProfile,
+        epoch: int,
+    ) -> NetworkProfile:
+        """The profile the placer should see for placements during ``epoch``.
+
+        Every pair of ``current`` is replaced by its forecast; pairs with no
+        recorded history yet (epoch 0, or a freshly added VM) keep the
+        measured value, so the degenerate first-epoch case reduces to the
+        classic measure-then-place flow.
+        """
+        rates: Dict[Tuple[str, str], float] = {}
+        for pair, measured in current.rates_bps.items():
+            predicted = self.forecast_pair(pair, epoch)
+            rates[pair] = max(predicted, 1.0) if predicted is not None else measured
+        return NetworkProfile(
+            vms=list(current.vms),
+            rates_bps=rates,
+            intra_vm_rate_bps=current.intra_vm_rate_bps,
+            sharing_model=current.sharing_model,
+            measured_at=current.measured_at,
+            measurement_duration_s=current.measurement_duration_s,
+        )

@@ -2,15 +2,21 @@
 
 Choreo profiles applications with a network monitoring tool such as sFlow or
 tcpdump; the output is a stream of flow records (timestamp, source task,
-destination task, byte count).  This module defines that record format, a
-plain-text (CSV) serialisation so traces can live on disk, and the
-aggregation from records to per-application traffic matrices and to hourly
-byte series (the granularity the predictability analysis of §6.1 uses).
+destination task, byte count).  This module defines that record format, two
+on-disk serialisations — CSV and JSONL (one JSON object per line, the
+common export format of flow collectors) — and the aggregation from records
+to per-application traffic matrices and to hourly byte series (the
+granularity the predictability analysis of §6.1 uses).
+
+:func:`load_trace` dispatches on the file suffix, so consumers such as the
+``ec2-trace-replay`` scenario's ``trace_path`` parameter accept either
+format.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -95,6 +101,71 @@ def read_trace(path: Union[str, Path]) -> List[FlowRecord]:
             except (TypeError, ValueError) as exc:
                 raise WorkloadError(f"malformed trace row {row!r}") from exc
     return records
+
+
+def write_trace_jsonl(
+    records: Iterable[FlowRecord], path: Union[str, Path]
+) -> int:
+    """Write records as JSONL (one object per line); returns the count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "timestamp": round(record.timestamp, 6),
+                        "application": record.application,
+                        "src_task": record.src_task,
+                        "dst_task": record.dst_task,
+                        "num_bytes": round(record.num_bytes, 1),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> List[FlowRecord]:
+    """Read records from a JSONL file written by :func:`write_trace_jsonl`
+    (or any flow collector emitting the same keys)."""
+    path = Path(path)
+    records: List[FlowRecord] = []
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                records.append(
+                    FlowRecord(
+                        timestamp=float(row["timestamp"]),
+                        application=str(row["application"]),
+                        src_task=str(row["src_task"]),
+                        dst_task=str(row["dst_task"]),
+                        num_bytes=float(row["num_bytes"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise WorkloadError(
+                    f"{path}:{line_no}: malformed trace record: {exc}"
+                ) from exc
+    return records
+
+
+def load_trace(path: Union[str, Path]) -> List[FlowRecord]:
+    """Read a trace from disk, dispatching on the file suffix.
+
+    ``.jsonl`` (and ``.ndjson``) files are parsed as JSONL, everything else
+    as the CSV format of :func:`write_trace`.
+    """
+    path = Path(path)
+    if path.suffix.lower() in (".jsonl", ".ndjson"):
+        return read_trace_jsonl(path)
+    return read_trace(path)
 
 
 def records_to_traffic_matrix(
