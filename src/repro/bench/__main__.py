@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro.bench``.
 
-Runs the hot-path benchmark suite, prints the JSON report, and writes it to
-a ``BENCH_*.json`` file.  Exits with status 1 when any optimised path
+A thin alias for ``python -m repro bench`` (see :mod:`repro.cli`, which
+owns the shared ``--seed``/``--output`` flags).  Runs the hot-path
+benchmark suite, prints the JSON report, and writes it to a
+``BENCH_*.json`` file.  Exits with status 1 when any optimised path
 disagrees with its reference implementation — speed regressions are
 tracked, correctness regressions fail.
 """
@@ -15,6 +17,28 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.bench.benchmarks import bench_names, run_benchmarks
+from repro.cli import common_parser
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the bench flags (and handler) to ``parser``.
+
+    Called both by :func:`repro.cli.build_parser` (``python -m repro
+    bench``) and by this module's own :func:`main` (``python -m
+    repro.bench``), so the two spellings cannot diverge.
+    """
+    # ``parents=`` only works at construction time; graft the shared parent
+    # onto the existing parser the same way argparse itself does.
+    parser._add_container_actions(common_parser(seed=0, output="BENCH_hotpath.json"))
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small input sizes for CI smoke (correctness still verified)",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help=f"comma-separated subset of benchmarks ({','.join(bench_names())})",
+    )
+    parser.set_defaults(handler=_cmd_bench)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,25 +51,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "reference implementation."
         ),
     )
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="small input sizes for CI smoke (correctness still verified)",
-    )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--only", default=None, metavar="NAMES",
-        help=f"comma-separated subset of benchmarks ({','.join(bench_names())})",
-    )
-    parser.add_argument(
-        "--output", default="BENCH_hotpath.json",
-        help="where to write the JSON report ('' disables the file)",
-    )
+    configure_parser(parser)
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run the suite; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+def _cmd_bench(args: argparse.Namespace) -> int:
     only = (
         [name.strip() for name in args.only.split(",") if name.strip()]
         if args.only
@@ -75,6 +85,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 1
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench``); exit code."""
+    args = _build_parser().parse_args(argv)
+    return args.handler(args)
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ TARGET_ALLOCATOR_SPEEDUP = 5.0
 TARGET_E2E_SPEEDUP = 2.0
 TARGET_RESUME_SPEEDUP = 5.0
 TARGET_ILP_SPEEDUP = 3.0
+TARGET_SCALE_SPEEDUP = 5.0
 
 
 def _close(a: float, b: float, tol: float = 1e-9) -> bool:
@@ -675,6 +676,267 @@ def bench_service_churn(
 
 
 # ---------------------------------------------------------------------------
+# Datacenter scale (vectorised allocator + hierarchical greedy)
+# ---------------------------------------------------------------------------
+_SCALE_RACK_SIZE = 32
+
+
+def _hose_mesh_instance(
+    n_vms: int, seed: int
+) -> Tuple[Dict[str, float], Dict[str, FlowDemand]]:
+    """A rack-structured allocation instance built directly on link ids.
+
+    Every VM has a 1 Gbit/s access link; racks of 32 VMs share a 10 Gbit/s
+    uplink.  Flows (two per VM) cross racks most of the time, so both the
+    access tier and the uplinks carry real contention.  No topology object
+    or routing is involved — this isolates the allocator itself, which is
+    what lets the instance reach 4096 VMs.
+    """
+    rng = random.Random(seed * 1_000_003 + n_vms)
+    n_racks = (n_vms + _SCALE_RACK_SIZE - 1) // _SCALE_RACK_SIZE
+    caps: Dict[str, float] = {f"up{r}": 10 * GBITPS for r in range(n_racks)}
+    for i in range(n_vms):
+        caps[f"acc{i}"] = 1 * GBITPS
+    demands: Dict[str, FlowDemand] = {}
+    for f in range(2 * n_vms):
+        src = rng.randrange(n_vms)
+        dst = rng.randrange(n_vms - 1)
+        if dst >= src:
+            dst += 1
+        links = [f"acc{src}"]
+        src_rack, dst_rack = src // _SCALE_RACK_SIZE, dst // _SCALE_RACK_SIZE
+        if src_rack != dst_rack:
+            links += [f"up{src_rack}", f"up{dst_rack}"]
+        links.append(f"acc{dst}")
+        cap = rng.uniform(0.05 * GBITPS, 0.9 * GBITPS) if rng.random() < 0.3 else None
+        demands[f"f{f}"] = FlowDemand(links=tuple(links), max_rate=cap)
+    return caps, demands
+
+
+def _rack_profile(n_vms: int, seed: int):
+    """Rack-structured pair rates as a :class:`MatrixNetworkProfile`.
+
+    Intra-rack pairs see ~1 Gbit/s and inter-rack pairs ~0.2 Gbit/s, both
+    with ±10% multiplicative noise — the clustered structure the paper
+    measures on EC2 and the hierarchical greedy placer exploits.
+    """
+    import numpy as np
+
+    from repro.core.network_profile import MatrixNetworkProfile
+
+    machines = [f"m{i}" for i in range(n_vms)]
+    rack = np.arange(n_vms) // _SCALE_RACK_SIZE
+    base = np.where(
+        rack[:, None] == rack[None, :], 1.0 * GBITPS, 0.2 * GBITPS
+    )
+    noise = np.random.default_rng(seed * 7 + n_vms).uniform(
+        0.9, 1.1, (n_vms, n_vms)
+    )
+    return machines, MatrixNetworkProfile(machines, base * noise)
+
+
+def _scale_allocator(n_vms: int, seed: int, with_reference: bool) -> Dict[str, object]:
+    caps, demands = _hose_mesh_instance(n_vms, seed)
+
+    def solve(mode: str):
+        allocator = IncrementalAllocator(caps, mode=mode)
+        for fid, demand in demands.items():
+            allocator.add_demand(fid, demand)
+        started = time.perf_counter()
+        rates = allocator.solve()
+        return time.perf_counter() - started, rates, allocator
+
+    scalar_s, scalar_rates, _ = solve("scalar")
+    vector_s, vector_rates, _ = solve("vector")
+    auto = IncrementalAllocator(caps)
+    for fid, demand in demands.items():
+        auto.add_demand(fid, demand)
+
+    entry: Dict[str, object] = {
+        "n_flows": len(demands),
+        "n_links": len(caps),
+        "scalar_s": round(scalar_s, 6),
+        "vector_s": round(vector_s, 6),
+        "auto_picks_vector": auto.uses_vector_path(),
+        "bit_identical": scalar_rates == vector_rates,
+    }
+
+    if with_reference:
+        started = time.perf_counter()
+        ref_rates = max_min_allocation(demands, caps)
+        entry["reference_s"] = round(time.perf_counter() - started, 6)
+        diff = _rates_diff(ref_rates, vector_rates)
+        entry["max_relative_diff_vs_reference"] = diff
+        entry["speedup_vector_vs_reference"] = (
+            round(entry["reference_s"] / vector_s, 3) if vector_s else None
+        )
+        entry["matched"] = bool(entry["bit_identical"] and diff <= 1e-9)
+    else:
+        entry["reference_s"] = None
+        entry["matched"] = bool(entry["bit_identical"])
+    entry["speedup_vector_vs_scalar"] = (
+        round(scalar_s / vector_s, 3) if vector_s else None
+    )
+    return entry
+
+
+def _scale_greedy(
+    n_vms: int, seed: int, with_flat: bool, n_workers: int = 24
+) -> Dict[str, object]:
+    machines, profile = _rack_profile(n_vms, seed)
+    cluster = ClusterState(machines=[Machine(m, cores=4.0) for m in machines])
+    app = scatter_gather(
+        "svc", n_workers,
+        request_bytes=4 * MBYTE,
+        response_bytes=400 * MBYTE,
+        cpu_per_task=1.0,
+    )
+
+    hier = GreedyPlacer(cluster_threshold=1)
+    started = time.perf_counter()
+    hier_placement = hier.place(app, cluster, profile)
+    hier_s = time.perf_counter() - started
+
+    entry: Dict[str, object] = {
+        "n_machines": n_vms,
+        "n_tasks": n_workers + 1,
+        "hier_s": round(hier_s, 6),
+        "cluster_stats": dict(hier.last_cluster_stats or {}),
+        "hier_placed": len(hier_placement.assignments),
+    }
+    if with_flat:
+        flat = GreedyPlacer(cluster_threshold=10**9)
+        started = time.perf_counter()
+        flat_placement = flat.place(app, cluster, profile)
+        flat_s = time.perf_counter() - started
+        entry["flat_s"] = round(flat_s, 6)
+        entry["speedup_hier_vs_flat"] = round(flat_s / hier_s, 3) if hier_s else None
+        entry["flat_placed"] = len(flat_placement.assignments)
+    else:
+        entry["flat_s"] = None
+    return entry
+
+
+def _scale_fluid(n_vms: int, seed: int, until: float = 1.0) -> Dict[str, object]:
+    from repro.net.fluid import ALLOCATOR_VECTOR
+
+    topo = build_two_rack_cloud(n_pairs=n_vms // 2)
+    flows = _fluid_workload(seed, n_vms // 2, n_vms)
+
+    def run(mode: str):
+        sim = FluidSimulation(topo, allocator=mode)
+        sim.add_flows(flows)
+        started = time.perf_counter()
+        result = sim.run(until=until)
+        return time.perf_counter() - started, result
+
+    reference_s, ref = run(ALLOCATOR_REFERENCE)
+    vector_s, got = run(ALLOCATOR_VECTOR)
+    agrees = (
+        set(ref.completion_times) == set(got.completion_times)
+        and _close(ref.end_time, got.end_time)
+        and all(
+            _close(t, got.completion_times[fid])
+            for fid, t in ref.completion_times.items()
+        )
+        and all(
+            _close(rem, got.remaining_bytes[fid], tol=1e-6)
+            for fid, rem in ref.remaining_bytes.items()
+        )
+    )
+    return {
+        "n_vms": n_vms,
+        "n_flows": len(flows),
+        "until_s": until,
+        "reference_s": round(reference_s, 6),
+        "vector_s": round(vector_s, 6),
+        "speedup": round(reference_s / vector_s, 3) if vector_s else None,
+        "matched": agrees,
+    }
+
+
+def _scale_equivalence_control(seed: int, n_vms: int = 16) -> Dict[str, object]:
+    """Flat vs singleton-clustered hierarchical greedy must coincide exactly."""
+    machines, profile = _rack_profile(n_vms, seed)
+    cluster = ClusterState(machines=[Machine(m, cores=4.0) for m in machines])
+    app = scatter_gather(
+        "ctl", n_vms - 2,
+        request_bytes=4 * MBYTE,
+        response_bytes=200 * MBYTE,
+        cpu_per_task=1.0,
+    )
+    flat = GreedyPlacer(cluster_threshold=10**9).place(app, cluster, profile)
+    hier = GreedyPlacer(cluster_threshold=1, n_clusters=n_vms).place(
+        app, cluster, profile
+    )
+    return {
+        "n_machines": n_vms,
+        "matched": flat.assignments == hier.assignments,
+    }
+
+
+def bench_scale(
+    sizes: Sequence[int] = (256, 1024, 4096),
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Datacenter-scale sweep: allocator, greedy, and one fluid advance.
+
+    Per mesh size: the vectorised allocator against the scalar incremental
+    path (bit-identical, all sizes) and the from-scratch reference
+    (≤ 1024 VMs — it is the thing being beaten); hierarchical greedy
+    against flat greedy (flat ≤ 1024 VMs); and one bounded fluid advance,
+    vector vs reference allocator (≤ 1024 VMs, routing-limited).  Dropped
+    components are recorded per entry rather than silently skipped.  The
+    headline ``speedup`` is vector-vs-reference at the largest size where
+    the reference ran.
+    """
+    reference_cap = 1024
+    per_size: Dict[str, Dict[str, object]] = {}
+    checks: List[bool] = []
+    headline: Optional[Tuple[float, Optional[float]]] = None
+
+    for n_vms in sizes:
+        with_reference = n_vms <= reference_cap
+        entry: Dict[str, object] = {
+            "allocator": _scale_allocator(n_vms, seed, with_reference),
+            "greedy": _scale_greedy(n_vms, seed, with_flat=with_reference),
+        }
+        skipped = []
+        if with_reference:
+            entry["fluid"] = _scale_fluid(n_vms, seed)
+            checks.append(bool(entry["fluid"]["matched"]))
+        else:
+            skipped += ["allocator_reference", "greedy_flat", "fluid"]
+        entry["skipped"] = skipped
+        checks.append(bool(entry["allocator"]["matched"]))
+        per_size[str(n_vms)] = entry
+        if with_reference:
+            headline = (
+                entry["allocator"]["reference_s"],
+                entry["allocator"]["vector_s"],
+            )
+
+    control = _scale_equivalence_control(seed)
+    checks.append(bool(control["matched"]))
+
+    reference_s, optimized_s = headline if headline else (None, None)
+    return {
+        "name": "scale",
+        "params": {"sizes": list(sizes), "rack_size": _SCALE_RACK_SIZE},
+        "per_size": per_size,
+        "equivalence_control": control,
+        "reference_s": reference_s,
+        "optimized_s": optimized_s,
+        "speedup": (
+            round(reference_s / optimized_s, 3)
+            if reference_s and optimized_s
+            else None
+        ),
+        "matched": all(checks),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
@@ -684,6 +946,7 @@ _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
     "ilp_scale": bench_ilp_scale,
     "mesh": bench_mesh,
     "e2e": bench_e2e_experiments,
+    "scale": bench_scale,
     "sweep_resume": bench_sweep_resume,
     "service_churn": bench_service_churn,
 }
@@ -695,6 +958,7 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "ilp_scale": {"n_tasks": 8, "n_vms": 6},
     "mesh": {"n_vms": 6},
     "e2e": {"quick": True},
+    "scale": {"sizes": (256,)},
     "sweep_resume": {"quick": True},
     "service_churn": {"quick": True},
 }
@@ -705,13 +969,16 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
 #: own ``BENCH_*.json`` (``BENCH_sweeps.json`` / ``BENCH_ilp.json`` /
 #: ``BENCH_service.json``, see docs/performance.md) and run as a dedicated
 #: CI step, so the default suite does not pay for (or duplicate) them.
-DEFAULT_SUITE: Tuple[str, ...] = ("allocator", "fluid", "greedy", "mesh", "e2e")
+DEFAULT_SUITE: Tuple[str, ...] = (
+    "allocator", "fluid", "greedy", "mesh", "e2e", "scale",
+)
 
 #: Speedup floors per bench: (targets key, minimum), applied when the bench ran.
 _TARGET_FLOORS: Dict[str, Tuple[str, float]] = {
     "allocator": ("allocator_speedup", TARGET_ALLOCATOR_SPEEDUP),
     "e2e": ("e2e_speedup", TARGET_E2E_SPEEDUP),
     "ilp_scale": ("ilp_speedup", TARGET_ILP_SPEEDUP),
+    "scale": ("scale_allocator_speedup", TARGET_SCALE_SPEEDUP),
     "sweep_resume": ("resume_speedup", TARGET_RESUME_SPEEDUP),
 }
 

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import MeasurementError
 
 
@@ -76,6 +78,11 @@ class NetworkProfile:
                 raise MeasurementError(
                     f"pair_measured_at references unmeasured pair {pair!r}"
                 )
+        # Lazily built by rate_matrix(); invalidated when the number of
+        # measured pairs changes (profiles are otherwise treated as
+        # immutable once placement starts consuming them).
+        self._matrix_cache: Optional[np.ndarray] = None
+        self._matrix_cache_pairs: int = -1
 
     # ------------------------------------------------------------- accessors
     def rate(self, src_vm: str, dst_vm: str) -> float:
@@ -119,6 +126,47 @@ class NetworkProfile:
         if not outgoing:
             raise MeasurementError(f"profile has no measurements out of {vm!r}")
         return max(outgoing)
+
+    def rate_matrix(self, order: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Dense pairwise-rate array aligned with ``order`` (default: ``vms``).
+
+        Entry ``[i, j]`` is the measured rate from ``order[i]`` to
+        ``order[j]``; the diagonal carries ``intra_vm_rate_bps`` and
+        unmeasured pairs are ``NaN``.  Built in one pass over the measured
+        pairs and cached for the default order, so hierarchical placement
+        can cluster a large mesh without N² dictionary lookups.  Callers
+        must treat the returned array as read-only.
+
+        Raises:
+            MeasurementError: if ``order`` names a VM outside the profile.
+        """
+        if order is None:
+            if (
+                self._matrix_cache is not None
+                and self._matrix_cache_pairs == len(self.rates_bps)
+            ):
+                return self._matrix_cache
+            names = self.vms
+        else:
+            names = list(order)
+            known = set(self.vms)
+            for vm in names:
+                if vm not in known:
+                    raise MeasurementError(
+                        f"rate_matrix order references unknown VM {vm!r}"
+                    )
+        index = {vm: i for i, vm in enumerate(names)}
+        matrix = np.full((len(names), len(names)), math.nan)
+        np.fill_diagonal(matrix, self.intra_vm_rate_bps)
+        for (src, dst), rate in self.rates_bps.items():
+            i = index.get(src)
+            j = index.get(dst)
+            if i is not None and j is not None:
+                matrix[i, j] = rate
+        if order is None:
+            self._matrix_cache = matrix
+            self._matrix_cache_pairs = len(self.rates_bps)
+        return matrix
 
     def pairs(self) -> List[Tuple[str, str]]:
         """All measured ordered pairs."""
@@ -174,3 +222,135 @@ class NetworkProfile:
             intra_vm_rate_bps=intra_vm_rate_bps,
             sharing_model=sharing_model,
         )
+
+
+class MatrixNetworkProfile(NetworkProfile):
+    """A :class:`NetworkProfile` whose rates live in a dense NumPy matrix.
+
+    A dict keyed by ordered VM pairs costs hundreds of bytes per entry — a
+    4096-VM mesh is ~16.7M pairs, far past what the tuple-keyed
+    representation can hold.  This subclass stores the same measurements as
+    one float64 ``(n, n)`` array (``NaN`` marks unmeasured pairs, the
+    diagonal is the intra-VM rate) and overrides the per-pair accessors to
+    index into it, so datacenter-scale synthetic meshes (the ``scale``
+    bench family) and hierarchical placement stay in array land end to end.
+
+    ``rates_bps`` is intentionally left empty: pair-dict consumers should
+    go through :meth:`rate` / :meth:`rate_matrix`, which every placement
+    path does.  :meth:`pairs` and :meth:`fastest_pairs` materialise tuples
+    on demand and are O(n²) — fine for tests, avoided on hot paths.
+    """
+
+    def __init__(
+        self,
+        vms: Sequence[str],
+        matrix: "np.ndarray",
+        intra_vm_rate_bps: float = math.inf,
+        hose_rates_bps: Optional[Mapping[str, float]] = None,
+        sharing_model: str = "hose",
+        measured_at: float = 0.0,
+        measurement_duration_s: float = 0.0,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        n = len(vms)
+        if matrix.shape != (n, n):
+            raise MeasurementError(
+                f"rate matrix shape {matrix.shape} does not match "
+                f"{n} VMs (expected ({n}, {n}))"
+            )
+        off_diag = ~np.eye(n, dtype=bool)
+        measured = off_diag & ~np.isnan(matrix)
+        if np.any(matrix[measured] <= 0):
+            raise MeasurementError("matrix rates must be positive")
+        matrix = matrix.copy()
+        np.fill_diagonal(matrix, intra_vm_rate_bps)
+        self._matrix = matrix
+        self._index: Dict[str, int] = {vm: i for i, vm in enumerate(vms)}
+        super().__init__(
+            vms=list(vms),
+            rates_bps={},
+            intra_vm_rate_bps=intra_vm_rate_bps,
+            hose_rates_bps=dict(hose_rates_bps or {}),
+            sharing_model=sharing_model,
+            measured_at=measured_at,
+            measurement_duration_s=measurement_duration_s,
+        )
+
+    # ------------------------------------------------------------- accessors
+    def rate(self, src_vm: str, dst_vm: str) -> float:
+        if src_vm == dst_vm:
+            return self.intra_vm_rate_bps
+        try:
+            value = self._matrix[self._index[src_vm], self._index[dst_vm]]
+        except KeyError:
+            raise MeasurementError(
+                f"profile has no measurement for ({src_vm!r}, {dst_vm!r})"
+            ) from None
+        if math.isnan(value):
+            raise MeasurementError(
+                f"profile has no measurement for ({src_vm!r}, {dst_vm!r})"
+            )
+        return float(value)
+
+    def has_pair(self, src_vm: str, dst_vm: str) -> bool:
+        if src_vm == dst_vm:
+            return True
+        i = self._index.get(src_vm)
+        j = self._index.get(dst_vm)
+        if i is None or j is None:
+            return False
+        return not math.isnan(self._matrix[i, j])
+
+    def measured_at_pair(self, src_vm: str, dst_vm: str) -> float:
+        if not self.has_pair(src_vm, dst_vm):
+            raise MeasurementError(
+                f"profile has no measurement for ({src_vm!r}, {dst_vm!r})"
+            )
+        return self.measured_at
+
+    def hose_rate(self, vm: str) -> float:
+        if vm in self.hose_rates_bps:
+            return self.hose_rates_bps[vm]
+        i = self._index.get(vm)
+        if i is None:
+            raise MeasurementError(f"profile has no measurements out of {vm!r}")
+        row = self._matrix[i].copy()
+        row[i] = math.nan
+        if np.all(np.isnan(row)):
+            raise MeasurementError(f"profile has no measurements out of {vm!r}")
+        return float(np.nanmax(row))
+
+    def rate_matrix(self, order: Optional[Sequence[str]] = None) -> np.ndarray:
+        if order is None:
+            return self._matrix
+        rows = []
+        for vm in order:
+            i = self._index.get(vm)
+            if i is None:
+                raise MeasurementError(
+                    f"rate_matrix order references unknown VM {vm!r}"
+                )
+            rows.append(i)
+        idx = np.asarray(rows, dtype=np.intp)
+        return self._matrix[np.ix_(idx, idx)]
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        vms = self.vms
+        return [
+            (vms[i], vms[j])
+            for i in range(len(vms))
+            for j in range(len(vms))
+            if i != j and not math.isnan(self._matrix[i, j])
+        ]
+
+    def fastest_pairs(self, n: Optional[int] = None) -> List[Tuple[str, str, float]]:
+        ranked = sorted(
+            (
+                (self.vms[i], self.vms[j], float(self._matrix[i, j]))
+                for i in range(len(self.vms))
+                for j in range(len(self.vms))
+                if i != j and not math.isnan(self._matrix[i, j])
+            ),
+            key=lambda item: (-item[2], item[0], item[1]),
+        )
+        return ranked if n is None else ranked[:n]

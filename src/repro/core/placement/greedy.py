@@ -17,11 +17,28 @@ Tasks that never communicate are placed last on the machines with the most
 free CPU.  The result is not guaranteed optimal (Figure 9 shows a
 counter-example), but §5 reports it within 13% (median) of the optimum
 while scaling far better.
+
+At datacenter scale the flat candidate enumeration is quadratic in the
+machine count, so above a size threshold (see
+:func:`set_default_cluster_threshold`) the placer goes **hierarchical**:
+machines are clustered once per placement by the similarity of their
+measured rate profiles (deterministic farthest-point k-center over the
+rows of :meth:`~repro.core.network_profile.NetworkProfile.rate_matrix`),
+each transfer first ranks *cluster representative* pairs by the flat
+selection key, then enumerates machine pairs only within the best
+representative pair's clusters, falling through ranked representative
+pairs until one yields a CPU-feasible candidate.  The union of those
+per-representative candidate sets is exactly the flat candidate set, so
+the hierarchical path fails only when the flat path would; with one
+machine per cluster it reduces to the flat selection bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.network_profile import NetworkProfile
 from repro.core.placement.base import ClusterState, Placement, Placer, validate_placement
@@ -32,6 +49,81 @@ from repro.workloads.application import Application
 _EPS = 1e-9
 
 _default_rate_cache = True
+
+# Machine counts below this stay on the flat quadratic enumeration, whose
+# exhaustive candidate scan is both fast and exactly Algorithm 1 at small
+# sizes; at or above it GreedyPlacer(cluster_threshold=None) clusters.
+_default_cluster_threshold = 96
+
+
+def set_default_cluster_threshold(n_machines: int) -> int:
+    """Default for ``GreedyPlacer(cluster_threshold=None)``; returns the old one.
+
+    Placements over clusters with at least this many machines use the
+    hierarchical candidate search; smaller ones keep the flat Algorithm 1
+    enumeration.  Benchmarks and tests move it to force either path.
+    """
+    global _default_cluster_threshold
+    if n_machines < 1:
+        raise PlacementError("cluster threshold must be >= 1")
+    previous = _default_cluster_threshold
+    _default_cluster_threshold = int(n_machines)
+    return previous
+
+
+def cluster_vms_by_rate_profile(
+    profile: NetworkProfile,
+    machines: Sequence[str],
+    n_clusters: int,
+) -> Tuple[List[str], List[List[str]]]:
+    """Group machines by measured rate-profile similarity (k-center).
+
+    Each machine's feature vector is its row of the profile's rate matrix
+    (out-rates to every other machine in ``machines``; unmeasured and
+    infinite entries contribute 0, the diagonal is zeroed), so two machines
+    land in one cluster when the network looks alike *from* them — e.g.
+    rack mates behind the same oversubscribed uplink.  Leaders are picked
+    by deterministic farthest-point traversal (first machine first, ties
+    to the lowest index) and every machine joins its nearest leader.
+
+    Returns ``(leaders, clusters)`` where ``clusters[i]`` lists the
+    machines led by ``leaders[i]``.  Fewer than ``n_clusters`` clusters
+    come back when machines have identical profiles (a uniform mesh
+    yields a single cluster).  Distances use squared Euclidean norms via
+    dot products, so the whole clustering is O(k·n²) vector work.
+    """
+    n = len(machines)
+    if n == 0:
+        raise PlacementError("cannot cluster an empty machine list")
+    k = max(1, min(int(n_clusters), n))
+    matrix = profile.rate_matrix(order=machines)
+    features = np.where(np.isfinite(matrix), matrix, 0.0)
+    np.fill_diagonal(features, 0.0)
+    norms = np.einsum("ij,ij->i", features, features)
+
+    def distance_row(index: int) -> np.ndarray:
+        row = norms + norms[index] - 2.0 * (features @ features[index])
+        np.maximum(row, 0.0, out=row)
+        return row
+
+    leader_indices = [0]
+    rows = [distance_row(0)]
+    nearest = rows[0].copy()
+    while len(leader_indices) < k:
+        candidate = int(np.argmax(nearest))
+        if nearest[candidate] <= 0.0:
+            break  # every remaining machine matches an existing leader
+        leader_indices.append(candidate)
+        row = distance_row(candidate)
+        rows.append(row)
+        np.minimum(nearest, row, out=nearest)
+
+    owner = np.argmin(np.vstack(rows), axis=0)
+    clusters: List[List[str]] = [[] for _ in leader_indices]
+    for index, lead in enumerate(owner):
+        clusters[int(lead)].append(machines[index])
+    leaders = [machines[i] for i in leader_indices]
+    return leaders, clusters
 
 
 def set_default_rate_cache(enabled: bool) -> bool:
@@ -104,6 +196,14 @@ class GreedyPlacer(Placer):
             recomputing every candidate on every transfer.  ``None`` uses
             the module default (see :func:`set_default_rate_cache`); the
             placement is identical either way.
+        cluster_threshold: machine count at which placement switches to the
+            hierarchical (cluster-representatives-first) candidate search;
+            ``None`` uses the module default (see
+            :func:`set_default_cluster_threshold`).  ``1`` always clusters.
+        n_clusters: how many rate-similarity clusters to form when the
+            hierarchical path engages; ``None`` uses ``ceil(sqrt(n))``.
+            Setting it to the machine count makes every cluster a
+            singleton, which reproduces the flat selection exactly.
     """
 
     name = "choreo-greedy"
@@ -113,15 +213,26 @@ class GreedyPlacer(Placer):
         model: str = "hose",
         prefer_colocation: bool = True,
         use_rate_cache: Optional[bool] = None,
+        cluster_threshold: Optional[int] = None,
+        n_clusters: Optional[int] = None,
     ):
         if model not in ("hose", "pipe"):
             raise PlacementError(f"unknown rate model {model!r}")
+        if cluster_threshold is not None and cluster_threshold < 1:
+            raise PlacementError("cluster_threshold must be >= 1")
+        if n_clusters is not None and n_clusters < 1:
+            raise PlacementError("n_clusters must be >= 1")
         self.model = model
         self.prefer_colocation = prefer_colocation
         self.use_rate_cache = use_rate_cache
+        self.cluster_threshold = cluster_threshold
+        self.n_clusters = n_clusters
         #: Hit/miss counters of the rate table used by the last
         #: :meth:`place` call (None when the cache was disabled).
         self.last_rate_stats: Optional[Dict[str, int]] = None
+        #: Clustering used by the last :meth:`place` call (None when the
+        #: flat path ran): {"n_clusters": ..., "largest": ...}.
+        self.last_cluster_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------ API
     def place(
@@ -171,6 +282,26 @@ class GreedyPlacer(Placer):
             assignments[task_name] = machine
             free_cpu[machine] -= app.cpu_demand(task_name)
 
+        threshold = (
+            _default_cluster_threshold
+            if self.cluster_threshold is None
+            else self.cluster_threshold
+        )
+        hierarchy: Optional[Tuple[List[str], List[List[str]]]] = None
+        if len(machines) >= threshold:
+            k = (
+                int(math.ceil(math.sqrt(len(machines))))
+                if self.n_clusters is None
+                else self.n_clusters
+            )
+            hierarchy = cluster_vms_by_rate_profile(profile, machines, k)
+            self.last_cluster_stats = {
+                "n_clusters": len(hierarchy[0]),
+                "largest": max(len(members) for members in hierarchy[1]),
+            }
+        else:
+            self.last_cluster_stats = None
+
         # Line 2: walk transfers in descending order of volume.
         for src_task, dst_task, _volume in app.transfers():
             src_placed = assignments.get(src_task)
@@ -182,17 +313,24 @@ class GreedyPlacer(Placer):
                 record_connection(src_placed, dst_placed)
                 continue
 
-            candidates = self._candidate_paths(
-                app, src_task, dst_task, src_placed, dst_placed,
-                machines, cpu_fits,
-            )
-            if not candidates:
+            if hierarchy is not None:
+                best = self._pick_hierarchical(
+                    hierarchy, app, src_task, dst_task,
+                    src_placed, dst_placed, cpu_fits, rate_of,
+                )
+            else:
+                candidates = self._candidate_paths(
+                    app, src_task, dst_task, src_placed, dst_placed,
+                    machines, cpu_fits,
+                )
+                best = (
+                    self._pick_best(candidates, rate_of) if candidates else None
+                )
+            if best is None:
                 raise PlacementError(
                     f"no CPU-feasible machine pair for transfer "
                     f"{src_task!r} -> {dst_task!r} of application {app.name!r}"
                 )
-
-            best = self._pick_best(candidates, rate_of)
             src_machine, dst_machine = best
             if src_placed is None:
                 assign(src_task, src_machine)
@@ -275,3 +413,98 @@ class GreedyPlacer(Placer):
             return (-rate, -colocated, src, dst)
 
         return min(candidates, key=sort_key)
+
+    def _pick_hierarchical(
+        self,
+        hierarchy: Tuple[List[str], List[List[str]]],
+        app: Application,
+        src_task: str,
+        dst_task: str,
+        src_placed: Optional[str],
+        dst_placed: Optional[str],
+        cpu_fits,
+        rate_of,
+    ) -> Optional[Tuple[str, str]]:
+        """Two-stage candidate search: representatives first, then members.
+
+        Stage 1 ranks cluster-representative pairs by the flat selection
+        key; stage 2 enumerates only the winning pair's cluster members
+        with the flat feasibility rules.  Ranked representative pairs are
+        walked until one yields a feasible candidate, so across the walk
+        the reachable candidate set is exactly the flat one — ``None``
+        comes back only when the flat enumeration would be empty too.
+        """
+        leaders, clusters = hierarchy
+
+        def sort_key(pair: Tuple[str, str]):
+            src, dst = pair
+            rate = rate_of(src, dst)
+            colocated = 1 if (self.prefer_colocation and src == dst) else 0
+            return (-rate, -colocated, src, dst)
+
+        if src_placed is not None:
+            # Source pinned (line 4): rank destination clusters by the rep
+            # path from the pinned machine, then place within.
+            ranked = sorted(
+                range(len(leaders)),
+                key=lambda i: sort_key((src_placed, leaders[i])),
+            )
+            for i in ranked:
+                stage2 = [
+                    (src_placed, machine)
+                    for machine in clusters[i]
+                    if cpu_fits(dst_task, machine)
+                ]
+                if stage2:
+                    return self._pick_best(stage2, rate_of)
+            return None
+
+        if dst_placed is not None:
+            # Destination pinned (line 6), symmetric.
+            ranked = sorted(
+                range(len(leaders)),
+                key=lambda i: sort_key((leaders[i], dst_placed)),
+            )
+            for i in ranked:
+                stage2 = [
+                    (machine, dst_placed)
+                    for machine in clusters[i]
+                    if cpu_fits(src_task, machine)
+                ]
+                if stage2:
+                    return self._pick_best(stage2, rate_of)
+            return None
+
+        # Neither pinned (lines 7-8): rank ordered representative pairs,
+        # including same-representative (whose stage 2 holds the
+        # colocation candidates).
+        pairs = [
+            (i, j)
+            for i in range(len(leaders))
+            for j in range(len(leaders))
+        ]
+        pairs.sort(key=lambda ij: sort_key((leaders[ij[0]], leaders[ij[1]])))
+        for i, j in pairs:
+            stage2: List[Tuple[str, str]] = []
+            if i == j:
+                for src_machine in clusters[i]:
+                    for dst_machine in clusters[j]:
+                        if src_machine == dst_machine:
+                            both_fit = cpu_fits(
+                                src_task, src_machine,
+                                pending_same=app.cpu_demand(dst_task),
+                            )
+                            if both_fit:
+                                stage2.append((src_machine, dst_machine))
+                        elif cpu_fits(src_task, src_machine) and cpu_fits(
+                            dst_task, dst_machine
+                        ):
+                            stage2.append((src_machine, dst_machine))
+            else:
+                src_ok = [m for m in clusters[i] if cpu_fits(src_task, m)]
+                if src_ok:
+                    dst_ok = [m for m in clusters[j] if cpu_fits(dst_task, m)]
+                    stage2 = [(s, d) for s in src_ok for d in dst_ok]
+            if stage2:
+                return self._pick_best(stage2, rate_of)
+        return None

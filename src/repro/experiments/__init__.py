@@ -31,7 +31,13 @@ from repro.experiments.backends import (
     register_backend,
 )
 from repro.experiments.cache import CacheKey, ResultStore, code_version, tree_digest
-from repro.experiments.placers import PlacerSpec, get_placer, placer_names
+from repro.experiments.placers import (
+    PlacerSpec,
+    get_placer,
+    list_placers,
+    placer_names,
+    resolve_placer,
+)
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.runner import (
     DEFAULT_PLACERS,
@@ -68,7 +74,9 @@ __all__ = [
     "tree_digest",
     "PlacerSpec",
     "get_placer",
+    "list_placers",
     "placer_names",
+    "resolve_placer",
     "ExperimentResult",
     "TrialRecord",
     "DEFAULT_PLACERS",

@@ -1,6 +1,8 @@
 """Command-line entry point: ``python -m repro.experiments``.
 
-Three commands:
+A thin alias for ``python -m repro experiments`` (see :mod:`repro.cli`,
+which owns the shared ``--seed``/``--jobs``/``--output``/``--param``
+flags).  Three commands:
 
 * ``list`` — show the registered scenarios (and placers);
 * ``run`` — sweep scenarios x placers, write structured JSON results, and
@@ -18,9 +20,10 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.cli import common_parser, parse_params, parse_placer_params, parse_value
 from repro.errors import ExperimentError, ReproError
 from repro.experiments.backends import backend_names
-from repro.experiments.placers import canonical_placer_name, placer_names
+from repro.experiments.placers import placer_names
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import (
     DEFAULT_PLACERS,
@@ -31,28 +34,10 @@ from repro.experiments.scenarios import get_scenario, list_scenarios, scenario_n
 
 BENCH_SCENARIOS = ("smoke", "all-to-all", "partition-aggregate")
 
-
-def _parse_value(text: str):
-    """Parse a ``--param`` value as bool, then int, then float, then string."""
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    for caster in (int, float):
-        try:
-            return caster(text)
-        except ValueError:
-            continue
-    return text
-
-
-def _parse_params(items: Optional[Sequence[str]]) -> Dict[str, object]:
-    params: Dict[str, object] = {}
-    for item in items or ():
-        if "=" not in item:
-            raise ExperimentError(f"--param expects key=value, got {item!r}")
-        key, _, value = item.partition("=")
-        params[key.strip()] = _parse_value(value.strip())
-    return params
+#: Historical spellings, kept for importers of the pre-dispatcher helpers.
+_parse_value = parse_value
+_parse_params = parse_params
+_parse_placer_params = parse_placer_params
 
 
 def _resolve_scenarios(requested: Sequence[str]) -> List[str]:
@@ -65,11 +50,14 @@ def _resolve_scenarios(requested: Sequence[str]) -> List[str]:
     return list(dict.fromkeys(requested))  # dedupe, keep order
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.experiments",
-        description="Choreo evaluation: scenario registry and experiment sweeps (§6).",
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``list``/``run``/``bench`` commands to ``parser``.
+
+    Called both by :func:`repro.cli.build_parser` (for ``python -m repro
+    experiments``) and by this module's own :func:`main` (for the
+    ``python -m repro.experiments`` alias), so the two spellings cannot
+    diverge.  Shared flags come from :func:`repro.cli.common_parser`.
+    """
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = sub.add_parser("list", help="list registered scenarios and placers")
@@ -77,8 +65,18 @@ def _build_parser() -> argparse.ArgumentParser:
     list_cmd.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    list_cmd.set_defaults(handler=_cmd_list)
 
-    run_cmd = sub.add_parser("run", help="sweep scenarios x placers and save JSON")
+    run_cmd = sub.add_parser(
+        "run",
+        help="sweep scenarios x placers and save JSON",
+        parents=[
+            common_parser(
+                seed=0, jobs=1, output="experiment_results.json",
+                params=True, placer_params=True,
+            )
+        ],
+    )
     run_cmd.add_argument(
         "--scenario", action="append", default=[], metavar="NAME",
         help="scenario to run (repeatable; 'all' runs every registered one)",
@@ -88,16 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated placer names (default: {','.join(DEFAULT_PLACERS)})",
     )
     run_cmd.add_argument("--trials", type=int, default=3)
-    run_cmd.add_argument("--seed", type=int, default=0)
-    run_cmd.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (0 = one per grid cell, capped at CPU count)",
-    )
     run_cmd.add_argument(
         "--backend", default=None, choices=backend_names(), metavar="NAME",
         help=(
             "execution backend "
-            f"({', '.join(backend_names())}; default: inline for --workers 1, "
+            f"({', '.join(backend_names())}; default: inline for --jobs 1, "
             "process otherwise)"
         ),
     )
@@ -114,27 +107,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--baseline", default="random")
     run_cmd.add_argument(
-        "--output", default="experiment_results.json",
-        help="where to write the structured JSON results",
-    )
-    run_cmd.add_argument(
-        "--param", action="append", metavar="KEY=VALUE",
-        help="scenario builder parameter override (applied to every scenario "
-        "that declares the key; repeatable)",
-    )
-    run_cmd.add_argument(
-        "--placer-param", action="append", metavar="PLACER:KEY=VALUE",
-        help="per-placer construction override, e.g. the ILP's per-cell "
-        "solver budget: ilp:time_limit_s=5 (repeatable; aliases accepted)",
-    )
-    run_cmd.add_argument(
         "--cache-stats", action="store_true",
         help="print the persistent store's hit/miss/stored/invalidated "
         "counters after the run (needs --cache-dir)",
     )
+    run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = sub.add_parser(
-        "bench", help="timed small grid; emits a BENCH_*.json perf summary"
+        "bench",
+        help="timed small grid; emits a BENCH_*.json perf summary",
+        parents=[
+            common_parser(seed=0, jobs=1, output="BENCH_experiments.json")
+        ],
     )
     bench_cmd.add_argument(
         "--scenarios", default=",".join(BENCH_SCENARIOS),
@@ -142,9 +126,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument("--placers", default="greedy,random")
     bench_cmd.add_argument("--trials", type=int, default=2)
-    bench_cmd.add_argument("--seed", type=int, default=0)
-    bench_cmd.add_argument("--workers", type=int, default=1)
-    bench_cmd.add_argument("--output", default="BENCH_experiments.json")
+    bench_cmd.set_defaults(handler=_cmd_bench)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Choreo evaluation: scenario registry and experiment sweeps (§6).",
+    )
+    configure_parser(parser)
     return parser
 
 
@@ -180,23 +170,6 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"placers: {', '.join(placer_names())}")
     print(f"backends: {', '.join(backend_names())}")
     return 0
-
-
-def _parse_placer_params(
-    items: Optional[Sequence[str]],
-) -> Dict[str, Dict[str, object]]:
-    """Parse repeated ``PLACER:KEY=VALUE`` flags into per-placer mappings."""
-    params: Dict[str, Dict[str, object]] = {}
-    for item in items or ():
-        head, sep, assignment = item.partition(":")
-        if not sep or "=" not in assignment:
-            raise ExperimentError(
-                f"--placer-param expects PLACER:KEY=VALUE, got {item!r}"
-            )
-        placer = canonical_placer_name(head.strip())
-        key, _, value = assignment.partition("=")
-        params.setdefault(placer, {})[key.strip()] = _parse_value(value.strip())
-    return params
 
 
 def _make_config(
@@ -269,7 +242,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.cache_stats and not (args.cache_dir and not args.no_cache):
         raise ExperimentError("--cache-stats needs --cache-dir (without --no-cache)")
     config = _make_config(
-        scenarios, args.placers, args.trials, args.seed, args.workers,
+        scenarios, args.placers, args.trials, args.seed, args.jobs,
         args.baseline, args.param,
         backend=args.backend,
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -309,7 +282,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         [name.strip() for name in args.scenarios.split(",") if name.strip()]
     )
     config = _make_config(
-        scenarios, args.placers, args.trials, args.seed, args.workers, "random"
+        scenarios, args.placers, args.trials, args.seed, args.jobs, "random"
     )
     started = time.perf_counter()
     result = ExperimentRunner(config).run()
@@ -356,12 +329,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = _build_parser()
-    args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "bench": _cmd_bench}
+    """CLI entry point (``python -m repro.experiments``); exit code."""
+    args = _build_parser().parse_args(argv)
     try:
-        return handlers[args.command](args)
+        return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

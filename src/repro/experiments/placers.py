@@ -11,6 +11,12 @@ ILP's solver budget), validated by the factory so typos fail fast.  Aliases
 let the ROADMAP/bench names address registry entries (``choreo-optimal`` is
 ``ilp``, ``choreo-greedy`` is ``greedy``); configs canonicalise them so
 result files and cache keys always carry the registry name.
+
+:func:`resolve_placer` and :func:`list_placers` are the public facade —
+also re-exported from :mod:`repro` — and the *only* place alias
+canonicalisation lives: CLIs and configs hand any accepted spelling to
+``resolve_placer`` and read the canonical name off the returned spec
+instead of keeping their own alias tables.
 """
 
 from __future__ import annotations
@@ -27,6 +33,16 @@ from repro.core.placement.baselines import (
 from repro.core.placement.greedy import GreedyPlacer
 from repro.core.placement.ilp import BruteForcePlacer, OptimalPlacer
 from repro.errors import ExperimentError
+
+__all__ = [
+    "PLACER_ALIASES",
+    "PlacerSpec",
+    "canonical_placer_name",
+    "get_placer",
+    "list_placers",
+    "placer_names",
+    "resolve_placer",
+]
 
 #: Factory signature: ``factory(seed, **params) -> Placer`` (seed ignored by
 #: deterministic placers; unknown params raise :class:`ExperimentError`).
@@ -104,8 +120,19 @@ def _to_bool(key: str, value: object) -> bool:
 
 
 def _greedy_factory(seed: int, **params) -> Placer:
-    opts = _pick(params, {"model": "hose"})
-    return GreedyPlacer(model=str(opts["model"]))
+    opts = _pick(
+        params,
+        {"model": "hose", "cluster_threshold": None, "n_clusters": None},
+    )
+    cluster_threshold = opts["cluster_threshold"]
+    n_clusters = opts["n_clusters"]
+    return GreedyPlacer(
+        model=str(opts["model"]),
+        cluster_threshold=(
+            None if cluster_threshold is None else int(cluster_threshold)  # type: ignore[arg-type]
+        ),
+        n_clusters=None if n_clusters is None else int(n_clusters),  # type: ignore[arg-type]
+    )
 
 
 def _ilp_factory(seed: int, **params) -> Placer:
@@ -213,20 +240,48 @@ _register(
 )
 
 
-def canonical_placer_name(name: str) -> str:
-    """Resolve aliases to the registry name (unknown names pass through)."""
-    return PLACER_ALIASES.get(name, name)
+def resolve_placer(name: str) -> PlacerSpec:
+    """Resolve any accepted placer spelling to its registry spec.
 
+    This is the single place alias canonicalisation happens: CLIs,
+    configs, and the service all pass user-facing names (``greedy``,
+    ``choreo-greedy``, ``choreo-optimal``, ...) here and use
+    ``resolve_placer(name).name`` as the canonical spelling for result
+    files and cache keys.
 
-def get_placer(name: str) -> PlacerSpec:
-    """Look up a placer spec by name (aliases accepted)."""
+    Raises:
+        ExperimentError: for unknown names, listing the registered names
+            and accepted aliases.
+    """
     try:
-        return _PLACERS[canonical_placer_name(name)]
+        return _PLACERS[PLACER_ALIASES.get(name, name)]
     except KeyError as exc:
         raise ExperimentError(
             f"unknown placer {name!r}; registered: {placer_names()} "
             f"(aliases: {sorted(PLACER_ALIASES)})"
         ) from exc
+
+
+def list_placers() -> List[PlacerSpec]:
+    """Every registered placer spec, sorted by canonical name."""
+    return [_PLACERS[name] for name in sorted(_PLACERS)]
+
+
+def canonical_placer_name(name: str) -> str:
+    """Resolve aliases to the registry name (unknown names pass through).
+
+    Prefer ``resolve_placer(name).name``, which validates the name too;
+    this helper survives for callers that must tolerate unknown names.
+    """
+    return PLACER_ALIASES.get(name, name)
+
+
+def get_placer(name: str) -> PlacerSpec:
+    """Look up a placer spec by name (aliases accepted).
+
+    Equivalent to :func:`resolve_placer`; kept as the historical spelling.
+    """
+    return resolve_placer(name)
 
 
 def placer_names() -> List[str]:

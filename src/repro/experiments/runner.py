@@ -22,7 +22,7 @@ from repro.experiments.backends import (
     get_backend,
 )
 from repro.experiments.cache import ResultStore
-from repro.experiments.placers import canonical_placer_name, get_placer
+from repro.experiments.placers import resolve_placer
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.scenarios import get_scenario
 from repro.experiments.trials import (  # noqa: F401  (re-exported API)
@@ -83,20 +83,21 @@ class ExperimentConfig:
             raise ExperimentError("workers must be >= 1 (or None for auto)")
         if self.backend is not None:
             get_backend(self.backend)  # fail fast on typos
-        # Canonicalise placer aliases up front (frozen dataclass, hence
-        # object.__setattr__): every consumer downstream — records, cache
-        # keys, summaries — then agrees on the registry name.
+        # Canonicalise placer aliases up front through the registry facade
+        # (frozen dataclass, hence object.__setattr__): every consumer
+        # downstream — records, cache keys, summaries — then agrees on the
+        # registry name, and unknown placers fail here with the full list.
         object.__setattr__(
             self,
             "placers",
-            tuple(canonical_placer_name(name) for name in self.placers),
+            tuple(resolve_placer(name).name for name in self.placers),
         )
         object.__setattr__(
-            self, "baseline", canonical_placer_name(self.baseline)
+            self, "baseline", resolve_placer(self.baseline).name
         )
         canonical_params: Dict[str, Mapping[str, object]] = {}
         for name, params in self.placer_params.items():
-            canonical = canonical_placer_name(name)
+            canonical = resolve_placer(name).name
             if canonical in canonical_params:
                 # An alias and its canonical name (or two aliases) both
                 # carry params: merging could silently combine conflicting
@@ -107,9 +108,6 @@ class ExperimentConfig:
                 )
             canonical_params[canonical] = params
         object.__setattr__(self, "placer_params", canonical_params)
-        for name in self.placers:
-            get_placer(name)
-        get_placer(self.baseline)
         for name in self.scenarios:
             get_scenario(name)
         for name, params in self.scenario_params.items():
@@ -118,7 +116,7 @@ class ExperimentConfig:
         for name, params in self.placer_params.items():
             # Dry-run construction: factories validate their own parameter
             # names, so typos fail here instead of inside a worker.
-            get_placer(name).create(0, params)
+            resolve_placer(name).create(0, params)
             self._check_json_scalars("placer_params", name, params)
 
     @staticmethod

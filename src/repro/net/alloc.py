@@ -25,6 +25,19 @@ bit-identical on any instance where the reference's own (set-iteration-
 order-dependent) tie-breaks do not matter — ``tests/test_hotpath.py``
 checks agreement within 1e-9 on randomized instances, and
 ``python -m repro.bench`` re-checks it on every benchmark run.
+
+Above a size threshold (see :func:`set_vector_thresholds`) :meth:`solve`
+switches to an **array-backed water-filling path**: link capacities,
+remaining headroom, and unfrozen-member counts live in NumPy vectors
+indexed by the interned link slots, each flow's path is a cached int
+index array (the rows of a CSR-style flow×link incidence), and the
+per-round bottleneck search becomes one masked divide plus ``argmin``.
+Because ``argmin`` breaks ties on the lowest index — exactly the
+``(value, index)`` order of the scalar path's heaps — and the per-flow
+freeze step performs the same subtract-then-clamp in the same dtype, the
+vector path is bit-identical to the scalar path (and hence to the
+reference, with the caveat above).  Paths that repeat a link fall back
+to the scalar solver, which handles them exactly.
 """
 
 from __future__ import annotations
@@ -33,10 +46,55 @@ import heapq
 import math
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.net.fairness import FlowDemand
 
-__all__ = ["IncrementalAllocator"]
+__all__ = [
+    "IncrementalAllocator",
+    "set_vector_thresholds",
+    "vector_thresholds",
+]
+
+#: Allocator modes accepted by :class:`IncrementalAllocator`.
+_MODES = ("auto", "scalar", "vector")
+
+# Instance sizes below which the vectorised solve is not worth its NumPy
+# dispatch overhead.  Both must be met for ``mode="auto"`` to vectorise:
+# small-but-wide or tall-but-narrow instances stay on the scalar path.
+_VECTOR_MIN_FLOWS = 256
+_VECTOR_MIN_LINKS = 256
+
+
+def set_vector_thresholds(
+    flows: Optional[int] = None, links: Optional[int] = None
+) -> Tuple[int, int]:
+    """Set the ``mode="auto"`` vectorisation thresholds; returns the old pair.
+
+    An allocator in ``"auto"`` mode (the default) uses the array-backed
+    solve only when it holds at least ``flows`` routed flows *and* its
+    link universe has at least ``links`` links.  Pass ``0`` to always
+    vectorise, or a huge value to never do so.  Tests and benchmarks use
+    this to force one path or the other without constructing allocators
+    differently.
+    """
+    global _VECTOR_MIN_FLOWS, _VECTOR_MIN_LINKS
+    previous = (_VECTOR_MIN_FLOWS, _VECTOR_MIN_LINKS)
+    if flows is not None:
+        if flows < 0:
+            raise SimulationError("vector flow threshold must be >= 0")
+        _VECTOR_MIN_FLOWS = int(flows)
+    if links is not None:
+        if links < 0:
+            raise SimulationError("vector link threshold must be >= 0")
+        _VECTOR_MIN_LINKS = int(links)
+    return previous
+
+
+def vector_thresholds() -> Tuple[int, int]:
+    """Current ``(flows, links)`` auto-vectorisation thresholds."""
+    return (_VECTOR_MIN_FLOWS, _VECTOR_MIN_LINKS)
 
 
 class IncrementalAllocator:
@@ -46,9 +104,21 @@ class IncrementalAllocator:
         capacities: mapping of link id to capacity in bits/second.  The link
             universe is fixed at construction; flows may only reference these
             links.
+        mode: ``"auto"`` (default) picks the array-backed solve above the
+            :func:`set_vector_thresholds` sizes, ``"scalar"`` always runs
+            the heap-based solve, ``"vector"`` always runs the array-backed
+            one.  All three produce bit-identical rates; flows whose path
+            repeats a link force the scalar solve regardless of mode.
     """
 
-    def __init__(self, capacities: Mapping[str, float]) -> None:
+    def __init__(
+        self, capacities: Mapping[str, float], mode: str = "auto"
+    ) -> None:
+        if mode not in _MODES:
+            raise SimulationError(
+                f"unknown allocator mode {mode!r}; expected one of {_MODES}"
+            )
+        self._mode = mode
         self._link_ids: List[str] = []
         self._link_index: Dict[str, int] = {}
         self._capacity: List[float] = []
@@ -56,11 +126,18 @@ class IncrementalAllocator:
             self._link_index[link_id] = len(self._link_ids)
             self._link_ids.append(link_id)
             self._capacity.append(float(cap))
+        # Capacity vector for the array-backed solve, built on first use so
+        # scalar-only allocators pay nothing.
+        self._capacity_np: Optional[np.ndarray] = None
         # Flow slots: a free-list keeps slot indices dense under churn.
         self._flow_slot: Dict[str, int] = {}
         self._slot_name: List[str] = []
         self._slot_links: List[Tuple[int, ...]] = []  # with duplicates, if any
         self._slot_unique_links: List[Tuple[int, ...]] = []
+        # Per-slot int index arrays (the CSR rows of the flow×link
+        # incidence), materialised lazily by the vector solve and reused
+        # across solves; a slot's row is dropped when the slot is freed.
+        self._slot_links_np: List[Optional[np.ndarray]] = []
         self._slot_cap: List[Optional[float]] = []
         self._free_slots: List[int] = []
         # Per-link membership (flow slots currently crossing the link) and a
@@ -121,12 +198,14 @@ class IncrementalAllocator:
             self._slot_name[slot] = flow_id
             self._slot_links[slot] = link_tuple
             self._slot_unique_links[slot] = unique
+            self._slot_links_np[slot] = None
             self._slot_cap[slot] = max_rate
         else:
             slot = len(self._slot_name)
             self._slot_name.append(flow_id)
             self._slot_links.append(link_tuple)
             self._slot_unique_links.append(unique)
+            self._slot_links_np.append(None)
             self._slot_cap.append(max_rate)
         self._flow_slot[flow_id] = slot
         if unique is not link_tuple:
@@ -157,6 +236,7 @@ class IncrementalAllocator:
         self._slot_name[slot] = ""
         self._slot_links[slot] = ()
         self._slot_unique_links[slot] = ()
+        self._slot_links_np[slot] = None
         self._slot_cap[slot] = None
         self._free_slots.append(slot)
         self._solution = None
@@ -167,6 +247,7 @@ class IncrementalAllocator:
         self._slot_name.clear()
         self._slot_links.clear()
         self._slot_unique_links.clear()
+        self._slot_links_np.clear()
         self._slot_cap.clear()
         self._free_slots.clear()
         for members in self._members:
@@ -176,16 +257,45 @@ class IncrementalAllocator:
         self._solution = None
 
     # --------------------------------------------------------------- solve
+    @property
+    def mode(self) -> str:
+        """The allocator's configured mode (``auto``/``scalar``/``vector``)."""
+        return self._mode
+
+    def uses_vector_path(self) -> bool:
+        """Whether the next :meth:`solve` will take the array-backed path."""
+        if self._dup_link_flows:
+            # The scalar solver is the only one that models a path crossing
+            # the same link twice (one count, two capacity drains).
+            return False
+        if self._mode == "scalar":
+            return False
+        if self._mode == "vector":
+            return True
+        return (
+            len(self._flow_slot) >= _VECTOR_MIN_FLOWS
+            and len(self._link_ids) >= _VECTOR_MIN_LINKS
+        )
+
     def solve(self) -> Dict[str, float]:
         """Max-min fair rates for the registered flows (cached between edits).
 
         Returns the same mapping a reference
         :func:`~repro.net.fairness.max_min_allocation` call over the current
-        flow set would; callers must treat it as read-only.
+        flow set would; callers must treat it as read-only.  The scalar and
+        array-backed paths produce bit-identical mappings, so which one ran
+        is unobservable from the result.
         """
         if self._solution is not None:
             return self._solution
+        if self.uses_vector_path():
+            self._solution = self._solve_vector()
+        else:
+            self._solution = self._solve_scalar()
+        return self._solution
 
+    def _solve_scalar(self) -> Dict[str, float]:
+        """Heap-based progressive filling over interned int slots."""
         rates: Dict[str, float] = {}
         unfrozen: List[int] = []
         for flow_id, slot in self._flow_slot.items():
@@ -291,5 +401,105 @@ class IncrementalAllocator:
                 for index in slot_unique[slot]:
                     counts[index] -= 1
 
-        self._solution = rates
+        return rates
+
+    def _slot_row(self, slot: int) -> np.ndarray:
+        """The slot's link index array (a CSR incidence row), cached."""
+        row = self._slot_links_np[slot]
+        if row is None:
+            links = self._slot_links[slot]
+            row = np.fromiter(links, dtype=np.intp, count=len(links))
+            self._slot_links_np[slot] = row
+        return row
+
+    def _solve_vector(self) -> Dict[str, float]:
+        """Array-backed water-filling over link capacity vectors.
+
+        Per round: one masked divide + ``argmin`` finds the bottleneck link
+        (ties break on the lowest link index, matching the scalar heaps'
+        ``(share, index)`` order); freezing a flow subtracts the level from
+        ``remaining`` and decrements ``counts`` through the flow's cached
+        index row.  Flow caps keep the scalar path's lazy heap — caps are
+        per-flow, so there is nothing to vectorise across links.  Only
+        called when no registered path repeats a link.
+        """
+        if self._capacity_np is None:
+            self._capacity_np = np.asarray(self._capacity, dtype=np.float64)
+
+        rates: Dict[str, float] = {}
+        unfrozen: List[int] = []
+        for flow_id, slot in self._flow_slot.items():
+            if self._slot_links[slot]:
+                unfrozen.append(slot)
+            else:
+                # Flows that traverse no links are only limited by their cap.
+                cap = self._slot_cap[slot]
+                rates[flow_id] = math.inf if cap is None else cap
+
+        n_links = len(self._capacity)
+        counts = np.zeros(n_links, dtype=np.int64)
+        n_used = len(self._link_use)
+        if n_used:
+            used = np.fromiter(
+                self._link_use.keys(), dtype=np.intp, count=n_used
+            )
+            counts[used] = np.fromiter(
+                self._link_use.values(), dtype=np.int64, count=n_used
+            )
+        remaining = self._capacity_np.copy()
+        shares = np.empty(n_links, dtype=np.float64)
+        active = np.empty(n_links, dtype=bool)
+
+        frozen = bytearray(len(self._slot_name))
+        cap_heap: List[Tuple[float, int]] = [
+            (self._slot_cap[slot], slot)
+            for slot in unfrozen
+            if self._slot_cap[slot] is not None
+        ]
+        heapq.heapify(cap_heap)
+
+        slot_name = self._slot_name
+        inf = math.inf
+        n_left = len(unfrozen)
+        while n_left:
+            # Bottleneck search: equal share of every link still carrying
+            # unfrozen flows, in one vector divide; links with no unfrozen
+            # members are masked to +inf.
+            np.greater(counts, 0, out=active)
+            shares.fill(inf)
+            np.divide(remaining, counts, out=shares, where=active)
+            bottleneck_link = int(np.argmin(shares))
+            bottleneck_share = float(shares[bottleneck_link])
+
+            while cap_heap and frozen[cap_heap[0][1]]:
+                heapq.heappop(cap_heap)
+
+            if cap_heap and cap_heap[0][0] <= bottleneck_share:
+                # A flow hits its own cap before any link saturates.
+                level, capped_slot = heapq.heappop(cap_heap)
+                to_freeze = [capped_slot]
+            elif bottleneck_share < inf:
+                level = bottleneck_share
+                to_freeze = [
+                    slot
+                    for slot in self._members[bottleneck_link]
+                    if not frozen[slot]
+                ]
+            else:
+                # Unfrozen flows remain but nothing constrains them.
+                for slot in unfrozen:
+                    if not frozen[slot]:
+                        rates[slot_name[slot]] = inf
+                break
+
+            for slot in to_freeze:
+                frozen[slot] = 1
+                n_left -= 1
+                rates[slot_name[slot]] = level
+                row = self._slot_row(slot)
+                segment = remaining[row] - level
+                np.maximum(segment, 0.0, out=segment)
+                remaining[row] = segment
+                counts[row] -= 1
+
         return rates

@@ -185,6 +185,9 @@ class FluidResult:
 #: Allocator implementations :class:`FluidSimulation` can use.
 ALLOCATOR_INCREMENTAL = "incremental"
 ALLOCATOR_REFERENCE = "reference"
+ALLOCATOR_VECTOR = "vector"
+
+_ALLOCATORS = (ALLOCATOR_INCREMENTAL, ALLOCATOR_REFERENCE, ALLOCATOR_VECTOR)
 
 _default_allocator = ALLOCATOR_INCREMENTAL
 
@@ -193,14 +196,17 @@ def set_default_allocator(name: str) -> str:
     """Set the allocator new simulations default to; returns the previous one.
 
     ``"incremental"`` (the default) re-solves through
-    :class:`~repro.net.alloc.IncrementalAllocator`; ``"reference"`` calls
+    :class:`~repro.net.alloc.IncrementalAllocator` in its ``auto`` mode,
+    which switches to the array-backed water-filling path above the
+    :func:`repro.net.alloc.set_vector_thresholds` sizes; ``"vector"``
+    forces that array-backed path at every size; ``"reference"`` calls
     :func:`~repro.net.fairness.max_min_allocation` from scratch at every
     event, exactly as the pre-optimisation code did.  The switch exists for
     A/B benchmarking (``python -m repro.bench``) and for debugging the
     incremental engine.
     """
     global _default_allocator
-    if name not in (ALLOCATOR_INCREMENTAL, ALLOCATOR_REFERENCE):
+    if name not in _ALLOCATORS:
         raise SimulationError(f"unknown allocator {name!r}")
     previous = _default_allocator
     _default_allocator = name
@@ -218,8 +224,9 @@ class FluidSimulation:
         extra_capacities: additional *virtual* links (e.g. per-VM hose links
             when several VMs share a physical host); flows traverse them via
             the ``extra_links`` argument of :meth:`add_flow`.
-        allocator: ``"incremental"`` or ``"reference"``; ``None`` uses the
-            module default (see :func:`set_default_allocator`).
+        allocator: ``"incremental"``, ``"vector"``, or ``"reference"``;
+            ``None`` uses the module default (see
+            :func:`set_default_allocator`).
     """
 
     def __init__(
@@ -257,7 +264,7 @@ class FluidSimulation:
                 self._capacities[link_id] = cap
         if allocator is None:
             allocator = _default_allocator
-        if allocator not in (ALLOCATOR_INCREMENTAL, ALLOCATOR_REFERENCE):
+        if allocator not in _ALLOCATORS:
             raise SimulationError(f"unknown allocator {allocator!r}")
         self._allocator_mode = allocator
         self._flows: Dict[str, Flow] = {}
@@ -330,8 +337,15 @@ class FluidSimulation:
         active_finite: Dict[str, Flow] = {}
         active_unbounded: Dict[str, float] = {}
         incremental: Optional[IncrementalAllocator] = None
-        if self._allocator_mode == ALLOCATOR_INCREMENTAL:
-            incremental = IncrementalAllocator(self._capacities)
+        if self._allocator_mode != ALLOCATOR_REFERENCE:
+            incremental = IncrementalAllocator(
+                self._capacities,
+                mode=(
+                    "vector"
+                    if self._allocator_mode == ALLOCATOR_VECTOR
+                    else "auto"
+                ),
+            )
         inf = math.inf
 
         # Zero-byte flows complete instantly at their start time.

@@ -1,12 +1,19 @@
 """Command-line entry point: ``python -m repro.service``.
 
-Two commands:
+A thin alias for ``python -m repro service`` (see :mod:`repro.cli`, which
+owns the shared ``--seed``/``--output``/``--param`` flags).  Two commands:
 
 * ``list`` — show the available drift generators and predictors;
 * ``run`` — run one churn session (streaming admission over a drifting
   network) and, unless ``--no-oracle``, a paired oracle session on the same
   seed; prints per-application completion vs. the oracle and the predictor's
   regret, and writes the structured JSON report.
+
+``run`` accepts the two unified parameter conventions: ``--param
+KEY=VALUE`` overrides a session-builder parameter (same keys as the
+dedicated flags: ``n_vms``, ``hours``, ``drift``, …), and ``--placer-param
+PLACER:KEY=VALUE`` forwards constructor overrides to the selected
+``--placer`` (e.g. ``greedy:cluster_threshold=64``).
 """
 
 from __future__ import annotations
@@ -17,26 +24,47 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.errors import ReproError
+from repro.cli import common_parser, parse_params, parse_placer_params
+from repro.errors import ReproError, ServiceError
 from repro.service.forecast import PREDICTOR_NAMES
 from repro.service.session import build_churn_session, run_churn_session
 from repro.service.timeline import DEFAULT_EPOCH_S, DRIFT_NAMES
 
+#: Session-builder keys overridable via ``--param`` (mirroring the dedicated
+#: flags, whose argparse dests they share).
+_SESSION_PARAM_KEYS = (
+    "apps_per_hour",
+    "drift",
+    "drift_strength",
+    "epoch_s",
+    "hours",
+    "max_tasks",
+    "n_vms",
+)
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.service",
-        description=(
-            "Online placement service: admit a stream of applications onto "
-            "a time-varying cloud, forecasting next-epoch rates with the "
-            "paper's §6.1 predictors."
-        ),
-    )
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``list``/``run`` commands to ``parser``.
+
+    Called both by :func:`repro.cli.build_parser` (``python -m repro
+    service``) and by this module's own :func:`main` (``python -m
+    repro.service``), so the two spellings cannot diverge.
+    """
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list drift generators and predictors")
+    list_cmd = sub.add_parser("list", help="list drift generators and predictors")
+    list_cmd.set_defaults(handler=_cmd_list)
 
-    run_cmd = sub.add_parser("run", help="run one churn session")
+    run_cmd = sub.add_parser(
+        "run",
+        help="run one churn session",
+        parents=[
+            common_parser(
+                seed=0, output="service_report.json",
+                params=True, placer_params=True,
+            )
+        ],
+    )
     run_cmd.add_argument("--hours", type=float, default=6.0,
                          help="admission horizon in epochs (default 6)")
     run_cmd.add_argument("--drift", default="random-walk", choices=DRIFT_NAMES)
@@ -52,7 +80,6 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--n-vms", type=int, default=8)
     run_cmd.add_argument("--apps-per-hour", type=float, default=1.5)
     run_cmd.add_argument("--max-tasks", type=int, default=6)
-    run_cmd.add_argument("--seed", type=int, default=0)
     run_cmd.add_argument("--epoch-s", type=float, default=DEFAULT_EPOCH_S,
                          help="epoch length in seconds (default: one hour)")
     run_cmd.add_argument(
@@ -73,8 +100,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-timeline", default=None, metavar="PATH",
         help="write the session's (generated or loaded) timeline to PATH",
     )
-    run_cmd.add_argument("--output", default="service_report.json",
-                         help="where to write the JSON report ('' disables)")
+    run_cmd.set_defaults(handler=_cmd_run)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description=(
+            "Online placement service: admit a stream of applications onto "
+            "a time-varying cloud, forecasting next-epoch rates with the "
+            "paper's §6.1 predictors."
+        ),
+    )
+    configure_parser(parser)
     return parser
 
 
@@ -86,7 +124,40 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_session_overrides(args: argparse.Namespace) -> None:
+    """Fold ``--param KEY=VALUE`` overrides onto the dedicated flags."""
+    overrides = parse_params(args.param)
+    unknown = sorted(set(overrides) - set(_SESSION_PARAM_KEYS))
+    if unknown:
+        raise ServiceError(
+            f"--param key(s) {unknown} are not session parameters; choose "
+            f"from {list(_SESSION_PARAM_KEYS)} (placer constructor overrides "
+            f"go through --placer-param PLACER:KEY=VALUE instead)"
+        )
+    for key, value in overrides.items():
+        setattr(args, key, value)
+
+
+def _resolve_placer_overrides(args: argparse.Namespace):
+    """Return constructor overrides for the selected ``--placer``."""
+    overrides = parse_placer_params(args.placer_param)
+    if not overrides:
+        return None
+    from repro.experiments.placers import resolve_placer
+
+    canonical = resolve_placer(args.placer).name
+    stray = sorted(set(overrides) - {canonical})
+    if stray:
+        raise ServiceError(
+            f"--placer-param given for {stray} but this session places with "
+            f"--placer {canonical}; pass overrides for that placer only"
+        )
+    return overrides.get(canonical)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_session_overrides(args)
+    placer_params = _resolve_placer_overrides(args)
     session_kwargs = dict(
         n_vms=args.n_vms,
         hours=args.hours,
@@ -106,6 +177,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.seed,
         predictor=args.predictor,
         placer=args.placer,
+        placer_params=placer_params,
         migrate=not args.no_migrate,
         ttl_s=args.ttl_s,
         **session_kwargs,
@@ -116,6 +188,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.seed,
             predictor="oracle",
             placer=args.placer,
+            placer_params=placer_params,
             migrate=not args.no_migrate,
             ttl_s=args.ttl_s,
             **session_kwargs,
@@ -179,11 +252,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point (``python -m repro.service``); exit code."""
     args = _build_parser().parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run}
     try:
-        return handlers[args.command](args)
+        return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

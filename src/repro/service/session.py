@@ -174,6 +174,6 @@ def _resolve_placer(
     """
     if isinstance(name_or_placer, Placer):
         return name_or_placer
-    from repro.experiments.placers import get_placer
+    from repro.experiments.placers import resolve_placer
 
-    return get_placer(str(name_or_placer)).create(seed, params)
+    return resolve_placer(str(name_or_placer)).create(seed, params)

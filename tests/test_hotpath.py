@@ -483,6 +483,21 @@ class TestBenchSuite:
 
         assert main(["--quick", "--only", "greedy", "--output", ""]) == 0
 
+    def test_quick_scale_bench_matches(self):
+        from repro.bench.benchmarks import run_benchmarks
+
+        payload = run_benchmarks(quick=True, only=["scale"])
+        assert payload["all_matched"]
+        entry = payload["benches"]["scale"]
+        assert entry["equivalence_control"]["matched"]
+        allocator = entry["per_size"]["256"]["allocator"]
+        assert allocator["bit_identical"] and allocator["auto_picks_vector"]
+
+    def test_scale_bench_is_in_the_default_suite(self):
+        from repro.bench.benchmarks import DEFAULT_SUITE
+
+        assert "scale" in DEFAULT_SUITE
+
 
 class TestFluidZenoRegression:
     def test_coincident_finish_times_terminate(self):
