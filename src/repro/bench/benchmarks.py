@@ -676,6 +676,114 @@ def bench_service_churn(
 
 
 # ---------------------------------------------------------------------------
+# Fault injection (self-healing control loop)
+# ---------------------------------------------------------------------------
+def bench_faults(
+    quick: bool = False,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Recovery cost of the self-healing service under injected faults.
+
+    Runs the same churn session fault-free and with the ``random-preempt``
+    fault generator, and reports the recovery latency (fault instant to the
+    epoch boundary where the service re-placed the affected tasks), the
+    completion-time degradation the faults caused, and the re-placement
+    throughput.  ``matched`` asserts three robustness invariants: the
+    faulted session is deterministic (an identical re-run reproduces the
+    canonical report bit for bit), an *empty* fault timeline leaves the
+    report bit-identical to the no-faults path, and every application still
+    terminates (completed or gracefully rejected) despite mid-session
+    preemptions.
+    """
+    from repro.faults import FaultTimeline, attach_faults
+    from repro.service.engine import PlacementService
+    from repro.service.session import _resolve_placer, build_churn_session, run_churn_session
+
+    if quick:
+        session = dict(
+            n_vms=6, hours=3.0, drift="random-walk", epoch_s=120.0,
+            apps_per_hour=1.5,
+        )
+    else:
+        session = dict(
+            n_vms=10, hours=6.0, drift="random-walk", epoch_s=300.0,
+            apps_per_hour=2.0,
+        )
+    faulted = dict(session, faults="random-preempt")
+
+    clean = run_churn_session(seed, predictor="combined", placer="greedy", **session)
+    started = time.perf_counter()
+    report = run_churn_session(seed, predictor="combined", placer="greedy", **faulted)
+    faulted_s = time.perf_counter() - started
+    rerun = run_churn_session(seed, predictor="combined", placer="greedy", **faulted)
+
+    deterministic = json.dumps(
+        report.canonical_json_dict(), sort_keys=True
+    ) == json.dumps(rerun.canonical_json_dict(), sort_keys=True)
+
+    # Empty fault timeline must be inert: attach one explicitly and compare
+    # against the plain no-faults session on the same seed.
+    provider, cluster, apps, _ = build_churn_session(seed, **session)
+    attach_faults(provider, FaultTimeline())
+    empty_report = PlacementService(
+        provider, cluster, _resolve_placer("greedy", seed, None),
+        predictor="combined",
+    ).run_session(apps, hours=float(session["hours"]))
+    empty_inert = json.dumps(
+        empty_report.canonical_json_dict(), sort_keys=True
+    ) == json.dumps(clean.canonical_json_dict(), sort_keys=True)
+
+    all_terminated = all(
+        outcome.status in ("completed", "rejected") for outcome in report.apps
+    )
+
+    latencies = [action.latency_s for action in report.recovery]
+    replacements = sum(
+        1 for action in report.recovery if action.action == "re-placed"
+    )
+    apps_replaced = sum(
+        len(action.apps) for action in report.recovery
+        if action.action == "re-placed"
+    )
+
+    def _mean_completion(rep) -> Optional[float]:
+        if not rep.completed():
+            return None
+        return round(rep.mean_completion_time_s, 3)
+
+    degradation = None
+    if clean.completed() and report.completed():
+        degradation = round(
+            report.mean_completion_time_s / clean.mean_completion_time_s - 1.0,
+            4,
+        )
+
+    return {
+        "name": "faults",
+        "params": dict(faulted),
+        "fault_events": len(report.recovery),
+        "apps_replaced": apps_replaced,
+        "replacements": replacements,
+        "apps_rejected": len(report.rejected()),
+        "pairs_degraded": report.measurement.get("pairs_degraded"),
+        "mean_recovery_latency_s": (
+            round(sum(latencies) / len(latencies), 3) if latencies else None
+        ),
+        "max_recovery_latency_s": (
+            round(max(latencies), 3) if latencies else None
+        ),
+        "mean_completion_clean_s": _mean_completion(clean),
+        "mean_completion_faulted_s": _mean_completion(report),
+        "completion_degradation": degradation,
+        "session_wall_s": round(faulted_s, 6),
+        "apps_recovered_per_s": (
+            round(apps_replaced / faulted_s, 3) if faulted_s else None
+        ),
+        "matched": deterministic and empty_inert and all_terminated,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Datacenter scale (vectorised allocator + hierarchical greedy)
 # ---------------------------------------------------------------------------
 _SCALE_RACK_SIZE = 32
@@ -949,6 +1057,7 @@ _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
     "scale": bench_scale,
     "sweep_resume": bench_sweep_resume,
     "service_churn": bench_service_churn,
+    "faults": bench_faults,
 }
 
 _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
@@ -961,14 +1070,16 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "scale": {"sizes": (256,)},
     "sweep_resume": {"quick": True},
     "service_churn": {"quick": True},
+    "faults": {"quick": True},
 }
 
 
 #: Benches run when no ``--only`` subset is given.  ``sweep_resume``,
-#: ``ilp_scale``, and ``service_churn`` are opt-in: each is tracked in its
-#: own ``BENCH_*.json`` (``BENCH_sweeps.json`` / ``BENCH_ilp.json`` /
-#: ``BENCH_service.json``, see docs/performance.md) and run as a dedicated
-#: CI step, so the default suite does not pay for (or duplicate) them.
+#: ``ilp_scale``, ``service_churn``, and ``faults`` are opt-in: each is
+#: tracked in its own ``BENCH_*.json`` (``BENCH_sweeps.json`` /
+#: ``BENCH_ilp.json`` / ``BENCH_service.json`` / ``BENCH_faults.json``, see
+#: docs/performance.md) and run as a dedicated CI step, so the default
+#: suite does not pay for (or duplicate) them.
 DEFAULT_SUITE: Tuple[str, ...] = (
     "allocator", "fluid", "greedy", "mesh", "e2e", "scale",
 )

@@ -26,7 +26,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
-from repro.errors import CloudError, SimulationError
+from repro.errors import CloudError, MeasurementError, SimulationError
 from repro.cloud.instances import InstanceType, VirtualMachine, EC2_MEDIUM
 from repro.net.fluid import FluidResult, FluidSimulation, RateTimeline
 from repro.net.flows import Flow
@@ -141,6 +141,15 @@ class CloudProvider:
         #: (fluid simulation, packet trains, netperf) sees the epoch-correct
         #: rates because they all flow through :meth:`hose_rate`.
         self.hose_timeline = None
+        #: When set (see :func:`repro.faults.attach_faults`), discrete fault
+        #: events overlay the (possibly timeline-driven) ground truth:
+        #: preempted VMs go dark through :meth:`hose_rate`, degraded links
+        #: lose a multiplicative factor, and probes of pairs under an active
+        #: :class:`~repro.faults.ProbeLoss` window fail or return wild
+        #: estimates.  ``None`` (the default) is a guaranteed no-op: no hook
+        #: consumes randomness or perturbs a rate, so fault-free runs are
+        #: bit-identical to builds that predate fault injection.
+        self.fault_timeline = None
 
     # ------------------------------------------------------------------ VMs
     def request_vms(self, n: int, name_prefix: str = "vm") -> List[VirtualMachine]:
@@ -220,13 +229,18 @@ class CloudProvider:
     def hose_rate(self, vm_name: str) -> float:
         """Current (drifted) egress cap of a VM, in bits/second."""
         self.vm(vm_name)
+        rate = None
         if self.hose_timeline is not None:
-            timed = self.hose_timeline.hose_rate_at(vm_name, self._clock)
-            if timed is not None:
-                return timed
-        base = self._base_hose[vm_name]
-        deviation = self._hose_deviation[vm_name]
-        return max(base * (1.0 + deviation), 0.05 * base)
+            rate = self.hose_timeline.hose_rate_at(vm_name, self._clock)
+        if rate is None:
+            base = self._base_hose[vm_name]
+            deviation = self._hose_deviation[vm_name]
+            rate = max(base * (1.0 + deviation), 0.05 * base)
+        if self.fault_timeline is not None:
+            rate = self.fault_timeline.effective_hose_rate(
+                vm_name, self._clock, rate
+            )
+        return rate
 
     def base_hose_rates(self) -> Dict[str, float]:
         """Each VM's undrifted base egress cap (timeline generators seed
@@ -292,6 +306,27 @@ class CloudProvider:
         return self.build_simulation(vm_flows).run(until=until)
 
     # ----------------------------------------------------- measurement API
+    def _probe_fault_factor(self, src_vm: str, dst_vm: str, what: str) -> float:
+        """Fault adjustment for one probe: raises on loss, scales on "wild".
+
+        Checked before any probe randomness is consumed, so a lost probe is
+        replayable: the same (seed, clock, pair) always fails the same way.
+        Returns 1.0 when no fault timeline is attached or no window is
+        active — the zero-fault fast path.
+        """
+        if self.fault_timeline is None:
+            return 1.0
+        fault = self.fault_timeline.probe_fault(src_vm, dst_vm, self._clock)
+        if fault is None:
+            return 1.0
+        mode, factor = fault
+        if mode == "fail":
+            raise MeasurementError(
+                f"{what} {src_vm}->{dst_vm} lost at t={self._clock:.0f}s "
+                f"(injected fault)"
+            )
+        return factor
+
     def run_netperf(
         self,
         src_vm: str,
@@ -306,6 +341,7 @@ class CloudProvider:
         """
         if duration <= 0:
             raise CloudError("duration must be positive")
+        wild_factor = self._probe_fault_factor(src_vm, dst_vm, "netperf probe")
         probe = VMFlow(
             flow_id="__netperf__",
             src_vm=src_vm,
@@ -321,7 +357,7 @@ class CloudProvider:
         result = self.simulate([probe] + shifted, until=duration)
         rate = result.timelines["__netperf__"].average_rate(0.0, duration)
         noise = 1.0 + float(self._rng.normal(0.0, self.params.measurement_noise))
-        return max(rate * noise, 0.0)
+        return max(rate * noise * wild_factor, 0.0)
 
     def concurrent_netperf(
         self,
@@ -422,8 +458,9 @@ class CloudProvider:
     ) -> PathTransmissionModel:
         """The burst transmission model a packet train sees on this path."""
         src, dst = self.vm(src_vm), self.vm(dst_vm)
+        wild_factor = self._probe_fault_factor(src_vm, dst_vm, "packet train")
         rate_noise = 1.0 + float(self._rng.normal(0.0, self.params.train_rate_noise))
-        rate_noise = max(rate_noise, 0.2)
+        rate_noise = max(rate_noise, 0.2) * wild_factor
         if src.host == dst.host:
             return PathTransmissionModel(
                 line_rate_bps=10 * GBITPS,

@@ -46,6 +46,13 @@ class MeasurementPlan:
         parallelism: how many VM-disjoint pairs the central coordinator
             probes simultaneously per round (the paper's coordinator model);
             ``1`` reproduces the serial mesh exactly.
+        max_retries: how many times a failed probe of one pair is retried
+            (with exponential backoff) before the pair is declared degraded.
+        retry_backoff_s: base backoff before the first retry; each further
+            retry doubles it.  Backoff and re-probe time are charged to the
+            campaign duration so resilience has an honest wall-clock cost.
+        probe_budget: campaign-wide cap on *extra* (retry) probes; ``None``
+            is unlimited.  Every pair always gets its initial probe.
     """
 
     method: str = "packet_train"
@@ -55,6 +62,9 @@ class MeasurementPlan:
     per_pair_overhead_s: float = DEFAULT_PER_PAIR_OVERHEAD_S
     advance_clock: bool = True
     parallelism: int = 1
+    max_retries: int = 2
+    retry_backoff_s: float = 2.0
+    probe_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("packet_train", "netperf"):
@@ -63,6 +73,12 @@ class MeasurementPlan:
             raise MeasurementError("invalid measurement plan timings")
         if self.parallelism < 1:
             raise MeasurementError("parallelism must be >= 1")
+        if self.max_retries < 0:
+            raise MeasurementError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise MeasurementError("retry_backoff_s must be >= 0")
+        if self.probe_budget is not None and self.probe_budget < 0:
+            raise MeasurementError("probe_budget must be >= 0 (or None)")
 
 
 class NetworkMeasurer:
@@ -187,6 +203,13 @@ class NetworkMeasurer:
         :attr:`NetworkProfile.pair_measured_at` — pairs from later campaign
         rounds are measured later, which is what per-pair TTL invalidation
         keys on.
+
+        A probe that raises :class:`MeasurementError` (lost trains, injected
+        probe faults) is retried up to ``plan.max_retries`` times with
+        exponential backoff, drawing on the shared ``plan.probe_budget``;
+        a pair whose retries are exhausted lands in
+        :attr:`NetworkProfile.degraded_pairs` instead of crashing the
+        campaign.
         """
         names = (
             list(vm_names)
@@ -200,19 +223,45 @@ class NetworkMeasurer:
         rates: Dict[Tuple[str, str], float] = {}
         cross: Dict[Tuple[str, str], float] = {}
         pair_times: Dict[Tuple[str, str], float] = {}
+        degraded: Dict[Tuple[str, str], str] = {}
         advertised = self.provider.params.instance_type.advertised_egress_bps
         rounds = self.schedule_rounds(names, pairs=pairs)
         round_time = self.per_pair_time_s()
+        retry_time = 0.0
+        retries_left = self.plan.probe_budget  # None == unlimited
         for round_index, batch in enumerate(rounds):
             probed_at = started_at + round_index * round_time
             for src, dst in batch:
-                rate = self.measure_pair(src, dst, background=background)
+                rate = None
+                attempt = 0
+                while True:
+                    try:
+                        rate = self.measure_pair(src, dst, background=background)
+                        break
+                    except MeasurementError as exc:
+                        out_of_budget = retries_left is not None and retries_left <= 0
+                        if attempt >= self.plan.max_retries or out_of_budget:
+                            reason = "probe budget exhausted" if out_of_budget \
+                                else f"{exc}"
+                            degraded[(src, dst)] = (
+                                f"{attempt + 1} probe(s) failed: {reason}"
+                            )
+                            break
+                        retry_time += (
+                            self.plan.retry_backoff_s * (2.0 ** attempt)
+                            + round_time
+                        )
+                        if retries_left is not None:
+                            retries_left -= 1
+                        attempt += 1
+                if rate is None:
+                    continue
                 rates[(src, dst)] = max(rate, 1.0)
                 pair_times[(src, dst)] = probed_at
                 if self.plan.estimate_cross_traffic and rate > 0:
                     cross[(src, dst)] = estimate_cross_traffic(rate, max(advertised, rate))
 
-        duration = len(rounds) * round_time
+        duration = len(rounds) * round_time + retry_time
         if self.plan.advance_clock:
             self.provider.advance_time(duration)
         return NetworkProfile(
@@ -223,4 +272,5 @@ class NetworkMeasurer:
             measured_at=started_at,
             measurement_duration_s=duration,
             pair_measured_at=pair_times,
+            degraded_pairs=degraded,
         )

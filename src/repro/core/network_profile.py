@@ -41,6 +41,11 @@ class NetworkProfile:
             is what lets a TTL cache invalidate stale pairs selectively
             instead of re-meshing the full N² campaign.  Pairs missing from
             the map fall back to ``measured_at``.
+        degraded_pairs: pairs the campaign could not measure (probes failed
+            even after retries, see ``MeasurementPlan.max_retries``), mapped
+            to a human-readable reason.  Degraded pairs carry no rate —
+            consumers fall back to a forecast or a floor instead of trusting
+            a number that was never observed.
     """
 
     vms: List[str]
@@ -52,6 +57,7 @@ class NetworkProfile:
     measured_at: float = 0.0
     measurement_duration_s: float = 0.0
     pair_measured_at: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    degraded_pairs: Dict[Tuple[str, str], str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(set(self.vms)) != len(self.vms):
@@ -77,6 +83,17 @@ class NetworkProfile:
             if pair not in self.rates_bps:
                 raise MeasurementError(
                     f"pair_measured_at references unmeasured pair {pair!r}"
+                )
+        for (src, dst) in self.degraded_pairs:
+            if src not in known or dst not in known:
+                raise MeasurementError(
+                    f"degraded pair references unknown VM {src!r} or {dst!r}"
+                )
+            if src == dst:
+                raise MeasurementError("degraded_pairs must not contain self pairs")
+            if (src, dst) in self.rates_bps:
+                raise MeasurementError(
+                    f"pair ({src!r}, {dst!r}) is both measured and degraded"
                 )
         # Lazily built by rate_matrix(); invalidated when the number of
         # measured pairs changes (profiles are otherwise treated as

@@ -46,3 +46,7 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """Raised by the online placement service (bad timelines, predictors)."""
+
+
+class FaultError(ReproError):
+    """Raised by the fault-injection subsystem (bad events, malformed files)."""

@@ -20,6 +20,17 @@ Three backends ship in-tree:
   and writes plain-JSON records, which is the stepping stone to running
   chunks over ssh on a multi-machine pool.
 
+The subprocess pool is the only backend whose workers can *die* (crash,
+OOM-kill, network partition on a future multi-machine pool), so it is the
+one that carries fault tolerance: workers stream records as JSON Lines —
+one line per completed trial, flushed — and the parent salvages whatever a
+dead or hung worker managed to finish, then retries only the missing
+trials in a fresh wave of workers.  Hung workers are detected with a
+per-chunk timeout and killed.  Because every trial is a deterministic
+function of its work item, a record salvaged from a crashed worker is
+bit-identical to one from a healthy worker, and a sweep that loses workers
+mid-flight still produces the exact result a clean run would.
+
 Every backend must return records in the order of its input items, and a
 backend given the same items must produce the same records (modulo host
 wall-clock timings) — the equivalence tests hold all three to that.
@@ -32,19 +43,48 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 from concurrent import futures
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.errors import ExperimentError
 from repro.experiments.results import TrialRecord
 from repro.experiments.trials import WorkItem, execute_work_item
 
-#: Wire-format schema the subprocess worker speaks.
-WORKER_SCHEMA = "repro.experiments/worker/v1"
+#: Wire-format schema the subprocess worker speaks.  v2 replaced the single
+#: output JSON document with JSON Lines (header, then one record per line,
+#: flushed as produced) so a killed worker leaves a salvageable prefix.
+WORKER_SCHEMA = "repro.experiments/worker/v2"
 
 DEFAULT_BACKEND = "inline"
+
+#: Default number of retry waves the subprocess pool runs for trials whose
+#: worker died, beyond the initial wave.
+DEFAULT_MAX_RETRIES = 2
+
+#: Environment variables of the worker chaos hook (test-only): when both
+#: are set, the *first* worker to win the marker-file race in
+#: ``REPRO_WORKER_CHAOS_DIR`` misbehaves per ``REPRO_WORKER_CHAOS_MODE``
+#: (``crash``: exit hard after its first record; ``hang``: sleep forever
+#: after its first record).  Exactly one worker per chaos dir misbehaves,
+#: so chaos tests are deterministic in *what* is lost even though process
+#: scheduling is not.
+CHAOS_DIR_ENV = "REPRO_WORKER_CHAOS_DIR"
+CHAOS_MODE_ENV = "REPRO_WORKER_CHAOS_MODE"
+
+#: Exit status of a chaos-crashed worker (distinct from argparse's 2).
+CHAOS_EXIT_STATUS = 17
 
 
 @runtime_checkable
@@ -67,12 +107,14 @@ class BackendSpec:
     """A registered execution backend: metadata plus a factory.
 
     The factory takes the worker-count hint (``None`` = size to the batch,
-    capped at the CPU count) and returns a ready :class:`ExecutionBackend`.
+    capped at the CPU count) and a backend-specific options mapping, and
+    returns a ready :class:`ExecutionBackend`.  Backends without options
+    must reject a non-empty mapping so typos fail loudly.
     """
 
     name: str
     description: str
-    factory: Callable[[Optional[int]], ExecutionBackend]
+    factory: Callable[[Optional[int], Mapping[str, object]], ExecutionBackend]
 
 
 _BACKENDS: Dict[str, BackendSpec] = {}
@@ -101,9 +143,20 @@ def backend_names() -> List[str]:
     return sorted(_BACKENDS)
 
 
-def create_backend(name: str, workers: Optional[int] = None) -> ExecutionBackend:
-    """Instantiate a registered backend with a worker-count hint."""
-    return get_backend(name).factory(workers)
+def create_backend(
+    name: str,
+    workers: Optional[int] = None,
+    options: Optional[Mapping[str, object]] = None,
+) -> ExecutionBackend:
+    """Instantiate a registered backend with a worker hint and options."""
+    return get_backend(name).factory(workers, dict(options or {}))
+
+
+def _reject_options(name: str, options: Mapping[str, object]) -> None:
+    if options:
+        raise ExperimentError(
+            f"backend {name!r} accepts no options; got {sorted(options)}"
+        )
 
 
 def _resolve_workers(workers: Optional[int], n_items: int) -> int:
@@ -179,12 +232,49 @@ def _worker_env() -> Dict[str, str]:
     return env
 
 
-def _split_chunks(items: Sequence[WorkItem], n_chunks: int) -> List[List[int]]:
+def _split_chunks(items: Sequence, n_chunks: int) -> List[List[int]]:
     """Round-robin item indices into ``n_chunks`` non-empty chunks."""
     chunks: List[List[int]] = [[] for _ in range(min(n_chunks, len(items)))]
     for index in range(len(items)):
         chunks[index % len(chunks)].append(index)
     return chunks
+
+
+def _salvage_records(out_path: Path) -> Dict[int, TrialRecord]:
+    """Recover completed records from a worker's (possibly partial) output.
+
+    The worker writes JSON Lines — a schema header, then one
+    ``{"index": local_index, "record": {...}}`` line per completed trial,
+    flushed immediately — so a worker killed mid-chunk leaves a valid
+    prefix.  A truncated or garbled tail line (the worker died mid-write)
+    is skipped, as is the whole file when the header is missing or from a
+    different schema version.
+    """
+    try:
+        lines = out_path.read_text().splitlines()
+    except OSError:
+        return {}
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        return {}
+    if not isinstance(header, dict) or header.get("schema") != WORKER_SCHEMA:
+        return {}
+    salvaged: Dict[int, TrialRecord] = {}
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            record = TrialRecord(**data["record"])
+            index = int(data["index"])
+        except (ValueError, KeyError, TypeError):
+            continue  # truncated/garbled tail: everything before it stands
+        salvaged[index] = record
+    return salvaged
 
 
 class SubprocessPoolBackend:
@@ -194,12 +284,40 @@ class SubprocessPoolBackend:
     file pair, so the same protocol can dispatch chunks to remote machines.
     The price is a cold interpreter start per chunk, which amortises over
     chunk size — exactly the trade a multi-machine pool makes.
+
+    Worker loss is tolerated, not fatal: each worker streams completed
+    records (JSON Lines, flushed per trial), so when one crashes or hangs
+    the parent salvages its finished prefix, kills it if needed, and
+    re-runs only the missing trials in up to ``max_retries`` further waves.
+    Because trials are deterministic in their work items, the assembled
+    result is bit-identical to a run without failures.
+
+    Args:
+        workers: worker-count hint (``None`` sizes to the batch, capped at
+            the CPU count).
+        max_retries: retry waves for missing trials after the initial wave;
+            only when a wave ends with trials still missing *and* the
+            budget is spent does the sweep fail.
+        chunk_timeout_s: wall-clock budget per worker process; a worker
+            still running after it is presumed hung and killed (its
+            completed prefix is salvaged).  ``None`` waits forever.
     """
 
     name = "subprocess-pool"
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        chunk_timeout_s: Optional[float] = None,
+    ):
+        if max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        if chunk_timeout_s is not None and chunk_timeout_s <= 0:
+            raise ExperimentError("chunk_timeout_s must be positive (or None)")
         self.workers = workers
+        self.max_retries = max_retries
+        self.chunk_timeout_s = chunk_timeout_s
 
     def submit(self, item: WorkItem) -> TrialRecord:
         return self.map_trials([item])[0]
@@ -207,21 +325,51 @@ class SubprocessPoolBackend:
     def map_trials(self, items: Sequence[WorkItem]) -> List[TrialRecord]:
         if not items:
             return []
-        chunks = _split_chunks(items, _resolve_workers(self.workers, len(items)))
-        records: List[Optional[TrialRecord]] = [None] * len(items)
+        records: Dict[int, TrialRecord] = {}
+        missing = list(range(len(items)))
+        failures: List[str] = []
+        for wave in range(self.max_retries + 1):
+            failures = self._run_wave(items, missing, records, wave)
+            missing = [i for i in range(len(items)) if i not in records]
+            if not missing:
+                break
+        if missing:
+            detail = "; ".join(failures[:4]) if failures else "no worker output"
+            raise ExperimentError(
+                f"subprocess-pool gave up on {len(missing)} trial(s) after "
+                f"{self.max_retries + 1} wave(s): {detail}"
+            )
+        return [records[i] for i in range(len(items))]
+
+    def _run_wave(
+        self,
+        items: Sequence[WorkItem],
+        missing: Sequence[int],
+        records: Dict[int, TrialRecord],
+        wave: int,
+    ) -> List[str]:
+        """Run one wave of workers over the missing items.
+
+        Salvages whatever each worker completed into ``records`` and
+        returns the failure descriptions of workers that died, hung, or
+        returned short — the caller decides whether another wave runs.
+        """
+        chunks = _split_chunks(missing, _resolve_workers(self.workers, len(missing)))
+        failures: List[str] = []
         with tempfile.TemporaryDirectory(prefix="repro-subproc-") as tmp:
             env = _worker_env()
             procs: List[subprocess.Popen] = []
             out_paths: List[Path] = []
-            for chunk_no, indices in enumerate(chunks):
-                in_path = Path(tmp) / f"chunk{chunk_no}.in.json"
-                out_path = Path(tmp) / f"chunk{chunk_no}.out.json"
+            for chunk_no, local_indices in enumerate(chunks):
+                in_path = Path(tmp) / f"wave{wave}.chunk{chunk_no}.in.json"
+                out_path = Path(tmp) / f"wave{wave}.chunk{chunk_no}.out.jsonl"
                 in_path.write_text(
                     json.dumps(
                         {
                             "schema": WORKER_SCHEMA,
                             "items": [
-                                items[i].to_json_dict() for i in indices
+                                items[missing[i]].to_json_dict()
+                                for i in local_indices
                             ],
                         }
                     )
@@ -241,40 +389,52 @@ class SubprocessPoolBackend:
                 out_paths.append(out_path)
             # Reap every worker before judging any of them: raising early
             # would orphan still-running siblings and delete the tempdir
-            # from under them.
-            stderrs = [proc.communicate()[1] for proc in procs]
-            for chunk_no, (proc, indices) in enumerate(zip(procs, chunks)):
-                if proc.returncode != 0:
-                    raise ExperimentError(
-                        f"subprocess-pool worker {chunk_no} exited with "
-                        f"status {proc.returncode}: "
-                        f"{stderrs[chunk_no].strip()[-2000:]}"
+            # from under them.  A worker that outlives its chunk budget is
+            # presumed hung: kill it and salvage what it finished.
+            outcomes: List[str] = []
+            for proc in procs:
+                try:
+                    _, stderr = proc.communicate(timeout=self.chunk_timeout_s)
+                    outcomes.append(
+                        "ok" if proc.returncode == 0
+                        else f"exited with status {proc.returncode}: "
+                             f"{(stderr or '').strip()[-500:]}"
                     )
-                payload = json.loads(out_paths[chunk_no].read_text())
-                chunk_records = [
-                    TrialRecord(**rec) for rec in payload["records"]
-                ]
-                if len(chunk_records) != len(indices):
-                    raise ExperimentError(
-                        f"subprocess-pool worker {chunk_no} returned "
-                        f"{len(chunk_records)} record(s) for {len(indices)} item(s)"
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.communicate()
+                    outcomes.append(
+                        f"hung past the {self.chunk_timeout_s:.0f}s chunk "
+                        "timeout and was killed"
                     )
-                for index, record in zip(indices, chunk_records):
-                    records[index] = record
-        return records  # type: ignore[return-value]
+            for chunk_no, local_indices in enumerate(chunks):
+                salvaged = _salvage_records(out_paths[chunk_no])
+                for local, record in salvaged.items():
+                    if 0 <= local < len(local_indices):
+                        records[missing[local_indices[local]]] = record
+                short = len(salvaged) < len(local_indices)
+                if outcomes[chunk_no] != "ok" or short:
+                    failures.append(
+                        f"wave {wave} worker {chunk_no} "
+                        f"({len(salvaged)}/{len(local_indices)} trial(s) "
+                        f"salvaged): {outcomes[chunk_no]}"
+                    )
+        return failures
 
 
 def worker_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of one subprocess-pool worker.
 
-    ``python -m repro.experiments.backends IN.json OUT.json`` reads a chunk
-    of work items from ``IN.json``, runs them inline, and writes their
-    records to ``OUT.json``.
+    ``python -m repro.experiments.backends IN.json OUT.jsonl`` reads a chunk
+    of work items from ``IN.json``, runs them inline, and streams records to
+    ``OUT.jsonl`` as JSON Lines — a schema header line, then one
+    ``{"index": local_index, "record": {...}}`` line per completed trial,
+    flushed immediately so the parent can salvage a dead worker's prefix.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 2:
         print(
-            "usage: python -m repro.experiments.backends IN.json OUT.json",
+            "usage: python -m repro.experiments.backends IN.json OUT.jsonl",
             file=sys.stderr,
         )
         return 2
@@ -284,13 +444,44 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"unexpected work-item schema {payload.get('schema')!r}", file=sys.stderr)
         return 2
     items = [WorkItem.from_json_dict(data) for data in payload["items"]]
-    records = [execute_work_item(item) for item in items]
-    out_path.write_text(
-        json.dumps(
-            {"schema": WORKER_SCHEMA, "records": [asdict(rec) for rec in records]}
-        )
-    )
+    chaos_mode = _arm_chaos()
+    with open(out_path, "w") as out:
+        out.write(json.dumps({"schema": WORKER_SCHEMA}) + "\n")
+        out.flush()
+        for local_index, item in enumerate(items):
+            record = execute_work_item(item)
+            out.write(
+                json.dumps({"index": local_index, "record": asdict(record)})
+                + "\n"
+            )
+            out.flush()
+            if chaos_mode == "crash":
+                os._exit(CHAOS_EXIT_STATUS)
+            if chaos_mode == "hang":
+                time.sleep(3600)
     return 0
+
+
+def _arm_chaos() -> Optional[str]:
+    """Decide whether *this* worker misbehaves (see the chaos env docs).
+
+    The marker file is created atomically, so across however many workers
+    share the chaos dir exactly one arms itself; the rest (and every
+    retry-wave worker) run clean.
+    """
+    chaos_dir = os.environ.get(CHAOS_DIR_ENV)
+    mode = os.environ.get(CHAOS_MODE_ENV)
+    if not chaos_dir or mode not in ("crash", "hang"):
+        return None
+    try:
+        fd = os.open(
+            os.path.join(chaos_dir, "chaos-fired"),
+            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+        )
+        os.close(fd)
+    except (FileExistsError, OSError):
+        return None
+    return mode
 
 
 # ---------------------------------------------------------------------------
@@ -300,24 +491,52 @@ register_backend(
     BackendSpec(
         name="inline",
         description="Run every trial in the current process (deterministic default).",
-        factory=lambda workers: InlineBackend(),
+        factory=lambda workers, options: (
+            _reject_options("inline", options), InlineBackend()
+        )[1],
     )
 )
 register_backend(
     BackendSpec(
         name="process",
         description="Fan trials out over a local ProcessPoolExecutor.",
-        factory=lambda workers: ProcessPoolBackend(workers=workers),
+        factory=lambda workers, options: (
+            _reject_options("process", options), ProcessPoolBackend(workers=workers)
+        )[1],
     )
 )
+
+
+def _make_subprocess_pool(
+    workers: Optional[int], options: Mapping[str, object]
+) -> SubprocessPoolBackend:
+    known = {"max_retries", "chunk_timeout_s"}
+    unknown = set(options) - known
+    if unknown:
+        raise ExperimentError(
+            f"backend 'subprocess-pool' got unknown option(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    try:
+        max_retries = int(options.get("max_retries", DEFAULT_MAX_RETRIES))
+        timeout = options.get("chunk_timeout_s")
+        chunk_timeout_s = None if timeout is None else float(timeout)
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(f"bad subprocess-pool option: {exc}") from exc
+    return SubprocessPoolBackend(
+        workers=workers, max_retries=max_retries, chunk_timeout_s=chunk_timeout_s
+    )
+
+
 register_backend(
     BackendSpec(
         name="subprocess-pool",
         description=(
-            "Spawn a fresh worker process per chunk, exchanging JSON "
+            "Spawn a fresh worker process per chunk, exchanging JSON; "
+            "salvages and retries work from crashed or hung workers "
             "(the stepping stone to multi-machine pools)."
         ),
-        factory=lambda workers: SubprocessPoolBackend(workers=workers),
+        factory=_make_subprocess_pool,
     )
 )
 

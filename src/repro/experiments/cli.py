@@ -107,6 +107,27 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     run_cmd.add_argument("--baseline", default="random")
     run_cmd.add_argument(
+        "--fail-fast", action="store_true",
+        help=(
+            "abort the sweep on the first raising trial (default: capture "
+            "it as a dropped trial and keep going)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help=(
+            "subprocess-pool only: retry waves for trials whose worker "
+            "died (default: 2)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--chunk-timeout-s", type=float, default=None, metavar="SECONDS",
+        help=(
+            "subprocess-pool only: kill workers that outlive this budget "
+            "and salvage their finished trials (default: wait forever)"
+        ),
+    )
+    run_cmd.add_argument(
         "--cache-stats", action="store_true",
         help="print the persistent store's hit/miss/stored/invalidated "
         "counters after the run (needs --cache-dir)",
@@ -183,6 +204,9 @@ def _make_config(
     backend: Optional[str] = None,
     cache_dir: Optional[str] = None,
     placer_param_items: Optional[Sequence[str]] = None,
+    fail_fast: bool = False,
+    max_retries: int = 2,
+    chunk_timeout_s: Optional[float] = None,
 ) -> ExperimentConfig:
     placers = tuple(name.strip() for name in placers_csv.split(",") if name.strip())
     overrides = _parse_params(param_items)
@@ -213,6 +237,9 @@ def _make_config(
         cache_dir=cache_dir,
         scenario_params=scenario_params,
         placer_params=_parse_placer_params(placer_param_items),
+        fail_fast=fail_fast,
+        max_retries=max_retries,
+        chunk_timeout_s=chunk_timeout_s,
     )
 
 
@@ -247,6 +274,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         cache_dir=None if args.no_cache else args.cache_dir,
         placer_param_items=args.placer_param,
+        fail_fast=args.fail_fast,
+        max_retries=args.max_retries,
+        chunk_timeout_s=args.chunk_timeout_s,
     )
     runner = ExperimentRunner(config)
     result = runner.run()

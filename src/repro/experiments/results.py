@@ -117,6 +117,25 @@ class ExperimentResult:
             key=lambda rec: rec.trial,
         )
 
+    def dropped_trials(self) -> List[dict]:
+        """Every errored grid cell with its captured exception string.
+
+        The keep-going runner turns raising trials into ``status ==
+        "error"`` records instead of aborting the sweep; this surfaces them
+        in one place (and at the top level of the result JSON) so a sweep
+        that silently lost cells is impossible.
+        """
+        return [
+            {
+                "scenario": rec.scenario,
+                "placer": rec.placer,
+                "trial": rec.trial,
+                "error": rec.error or "",
+            }
+            for rec in self.records
+            if not rec.ok
+        ]
+
     # --------------------------------------------------------------- summary
     def speedups_vs_baseline(self, scenario: str, placer: str) -> List[float]:
         """Per-trial relative speedup of ``placer`` over the baseline placer.
@@ -212,6 +231,7 @@ class ExperimentResult:
             "base_seed": self.base_seed,
             "baseline": self.baseline,
             "records": [asdict(rec) for rec in self.records],
+            "dropped_trials": self.dropped_trials(),
             "summary": self.summary(),
         }
 

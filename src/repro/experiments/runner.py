@@ -57,6 +57,14 @@ class ExperimentConfig:
         placer_params: per-placer construction overrides (e.g. the ILP's
             per-cell solver budget: ``{"ilp": {"time_limit_s": 5.0}}``),
             validated by the placer's factory.
+        fail_fast: abort the sweep on the first raising trial instead of
+            capturing it into the record (keep-going is the default).
+        max_retries: retry waves the ``subprocess-pool`` backend runs for
+            trials whose worker died (ignored by in-process backends,
+            which cannot lose workers).
+        chunk_timeout_s: per-worker wall-clock budget of the
+            ``subprocess-pool`` backend; hung workers are killed and their
+            finished trials salvaged.  Only valid with that backend.
 
     Placer names (including the baseline) accept the registry's aliases
     (``choreo-optimal`` for ``ilp``) and are canonicalised on construction,
@@ -73,6 +81,9 @@ class ExperimentConfig:
     cache_dir: Optional[str] = None
     scenario_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     placer_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    fail_fast: bool = False
+    max_retries: int = 2
+    chunk_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -83,6 +94,16 @@ class ExperimentConfig:
             raise ExperimentError("workers must be >= 1 (or None for auto)")
         if self.backend is not None:
             get_backend(self.backend)  # fail fast on typos
+        if self.max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        if self.chunk_timeout_s is not None:
+            if self.chunk_timeout_s <= 0:
+                raise ExperimentError("chunk_timeout_s must be positive (or None)")
+            if self.effective_backend != "subprocess-pool":
+                raise ExperimentError(
+                    "chunk_timeout_s only applies to the subprocess-pool "
+                    f"backend, not {self.effective_backend!r}"
+                )
         # Canonicalise placer aliases up front through the registry facade
         # (frozen dataclass, hence object.__setattr__): every consumer
         # downstream — records, cache keys, summaries — then agrees on the
@@ -149,6 +170,20 @@ class ExperimentConfig:
             return self.backend
         return DEFAULT_BACKEND if self.workers == 1 else "process"
 
+    @property
+    def backend_options(self) -> Dict[str, object]:
+        """Backend-specific options derived from the config.
+
+        Only the ``subprocess-pool`` backend takes options today; the
+        in-process backends reject any, so this stays empty for them.
+        """
+        if self.effective_backend != "subprocess-pool":
+            return {}
+        options: Dict[str, object] = {"max_retries": self.max_retries}
+        if self.chunk_timeout_s is not None:
+            options["chunk_timeout_s"] = self.chunk_timeout_s
+        return options
+
 
 @dataclass(frozen=True)
 class RunStats:
@@ -205,6 +240,7 @@ class ExperimentRunner:
             scenario, placer, trial, self.config.base_seed,
             self.config.scenario_params.get(scenario),
             self.config.placer_params.get(placer),
+            fail_fast=self.config.fail_fast,
         )
 
     def _cell_key(self, scenario: str, placer: str, trial: int) -> Tuple:
@@ -251,7 +287,11 @@ class ExperimentRunner:
                 pending.append((key, item))
 
         if pending:
-            backend = create_backend(config.effective_backend, workers=config.workers)
+            backend = create_backend(
+                config.effective_backend,
+                workers=config.workers,
+                options=config.backend_options,
+            )
             records = backend.map_trials([item for _, item in pending])
             for (key, item), record in zip(pending, records):
                 memo[key] = record

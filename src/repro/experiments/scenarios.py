@@ -603,6 +603,72 @@ def _build_service_churn(
 
 
 @scenario(
+    "fault-churn",
+    description=(
+        "The service-churn session under injected infrastructure faults: "
+        "VMs are preempted mid-session (their tasks re-placed via the "
+        "migration engine), links degrade (targeted re-measurement), and "
+        "probes are lost (the measurer retries, then coasts on forecasts). "
+        "Sweep `faults` (random-preempt / link-flap / lossy-probes) to "
+        "stress the self-healing control loop; seeded, so reruns are "
+        "bit-identical."
+    ),
+    tags=("ec2", "service", "faults"),
+    defaults={
+        "n_vms": 8,
+        "hours": 4,
+        "drift": "random-walk",
+        "predictor": "combined",
+        "apps_per_hour": 1.5,
+        "epoch_s": 300.0,
+        "migrate": True,
+        "faults": "random-preempt",
+        "fault_strength": 0.0,
+    },
+)
+def _build_fault_churn(
+    seed: int,
+    n_vms: int,
+    hours: float,
+    drift: str,
+    predictor: str,
+    apps_per_hour: float,
+    epoch_s: float,
+    migrate: bool,
+    faults: str,
+    fault_strength: float,
+) -> ScenarioInstance:
+    # Same lazy imports as service-churn (circular-import avoidance).
+    from repro.service.forecast import validate_predictor
+    from repro.service.session import build_churn_session
+
+    validate_predictor(str(predictor))
+    provider, cluster, apps, _timeline = build_churn_session(
+        seed,
+        n_vms=int(n_vms),
+        hours=float(hours),
+        drift=str(drift),
+        apps_per_hour=float(apps_per_hour),
+        epoch_s=float(epoch_s),
+        faults=str(faults),
+        # Scenario params must be JSON scalars, so None (generator default)
+        # is spelled 0.0 here.
+        fault_strength=float(fault_strength) or None,
+    )
+    return ScenarioInstance(
+        provider=provider,
+        cluster=cluster,
+        apps=apps,
+        mode=MODE_SERVICE,
+        service=ServiceSettings(
+            predictor=str(predictor),
+            hours=float(hours),
+            migrate=bool(migrate),
+        ),
+    )
+
+
+@scenario(
     "legacy-ec2-zone",
     description="The highly variable May-2012 EC2 network, one availability zone (Figure 1).",
     tags=("ec2-legacy",),

@@ -52,11 +52,16 @@ def run_trial(
     base_seed: int,
     scenario_params: Optional[Mapping[str, object]] = None,
     placer_params: Optional[Mapping[str, object]] = None,
+    fail_fast: bool = False,
 ) -> TrialRecord:
     """Run one grid cell and return its record.
 
-    Library failures (:class:`ReproError`) are captured in the record so one
-    infeasible trial cannot sink a whole sweep; programming errors propagate.
+    By default the sweep keeps going: *any* raising trial — a library
+    failure (:class:`ReproError`) or a genuine bug — is captured into the
+    record with its exception string, so one bad cell cannot sink hours of
+    sibling trials; the result surfaces them as ``dropped_trials`` and the
+    CLI exits nonzero.  ``fail_fast=True`` restores the old abort-on-raise
+    behaviour for debugging.
     """
     seed = trial_seed(base_seed, scenario_name, trial)
     record = TrialRecord(
@@ -74,7 +79,9 @@ def run_trial(
             _run_service_trial(instance, placer_name, seed, record, placer_params)
         else:
             _run_batch_trial(instance, placer_name, seed, record, placer_params)
-    except ReproError as exc:
+    except Exception as exc:
+        if fail_fast and not isinstance(exc, ReproError):
+            raise
         record.status = "error"
         record.error = f"{type(exc).__name__}: {exc}"
     record.trial_wall_s = time.perf_counter() - started
@@ -88,6 +95,10 @@ class WorkItem:
     ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so work
     items are hashable and two items describing the same cell compare equal
     regardless of mapping order.
+
+    ``fail_fast`` rides along on the wire so remote workers honour the
+    runner's error policy, but it does not change *what* is computed —
+    cache and memo keys deliberately exclude it.
     """
 
     scenario: str
@@ -96,6 +107,7 @@ class WorkItem:
     base_seed: int
     params: Tuple[Tuple[str, object], ...] = ()
     placer_params: Tuple[Tuple[str, object], ...] = ()
+    fail_fast: bool = False
 
     @classmethod
     def make(
@@ -106,6 +118,7 @@ class WorkItem:
         base_seed: int,
         params: Optional[Mapping[str, object]] = None,
         placer_params: Optional[Mapping[str, object]] = None,
+        fail_fast: bool = False,
     ) -> "WorkItem":
         return cls(
             scenario=scenario,
@@ -114,6 +127,7 @@ class WorkItem:
             base_seed=base_seed,
             params=tuple(sorted((params or {}).items())),
             placer_params=tuple(sorted((placer_params or {}).items())),
+            fail_fast=fail_fast,
         )
 
     @property
@@ -125,6 +139,7 @@ class WorkItem:
         return run_trial(
             self.scenario, self.placer, self.trial, self.base_seed,
             dict(self.params), dict(self.placer_params),
+            fail_fast=self.fail_fast,
         )
 
     # ------------------------------------------------------------ wire format
@@ -137,6 +152,7 @@ class WorkItem:
             "base_seed": self.base_seed,
             "params": dict(self.params),
             "placer_params": dict(self.placer_params),
+            "fail_fast": self.fail_fast,
         }
 
     @classmethod
@@ -149,6 +165,7 @@ class WorkItem:
                 base_seed=int(data["base_seed"]),  # type: ignore[arg-type]
                 params=dict(data.get("params") or {}),  # type: ignore[arg-type]
                 placer_params=dict(data.get("placer_params") or {}),  # type: ignore[arg-type]
+                fail_fast=bool(data.get("fail_fast", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(f"malformed work item: {exc}") from exc

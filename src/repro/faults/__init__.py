@@ -1,0 +1,36 @@
+"""Fault injection: discrete failure events over the synthetic cloud.
+
+Public surface of the faults subsystem (see :mod:`repro.faults.timeline`
+for the model and docs/faults.md for the tour):
+
+- :class:`FaultTimeline` plus the event types
+  :class:`LinkDegradation` / :class:`VmPreemption` / :class:`ProbeLoss`;
+- :func:`generate_faults` with the seeded generators named by
+  :data:`FAULT_NAMES` (``none`` / ``random-preempt`` / ``link-flap`` /
+  ``lossy-probes``);
+- :func:`attach_faults` to hook a timeline onto a provider.
+"""
+
+from repro.faults.timeline import (
+    FAULT_NAMES,
+    FaultEvent,
+    FaultTimeline,
+    LinkDegradation,
+    PREEMPTED_RATE_BPS,
+    ProbeLoss,
+    VmPreemption,
+    attach_faults,
+    generate_faults,
+)
+
+__all__ = [
+    "FAULT_NAMES",
+    "FaultEvent",
+    "FaultTimeline",
+    "LinkDegradation",
+    "PREEMPTED_RATE_BPS",
+    "ProbeLoss",
+    "VmPreemption",
+    "attach_faults",
+    "generate_faults",
+]

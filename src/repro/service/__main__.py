@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 from repro.cli import common_parser, parse_params, parse_placer_params
 from repro.errors import ReproError, ServiceError
+from repro.faults import FAULT_NAMES
 from repro.service.forecast import PREDICTOR_NAMES
 from repro.service.session import build_churn_session, run_churn_session
 from repro.service.timeline import DEFAULT_EPOCH_S, DRIFT_NAMES
@@ -37,6 +38,8 @@ _SESSION_PARAM_KEYS = (
     "drift",
     "drift_strength",
     "epoch_s",
+    "fault_strength",
+    "faults",
     "hours",
     "max_tasks",
     "n_vms",
@@ -100,6 +103,23 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--save-timeline", default=None, metavar="PATH",
         help="write the session's (generated or loaded) timeline to PATH",
     )
+    run_cmd.add_argument(
+        "--faults", default="none", choices=FAULT_NAMES,
+        help="fault-timeline generator (default: none — no faults injected)",
+    )
+    run_cmd.add_argument(
+        "--fault-strength", type=float, default=None,
+        help="generator knob (preempted fraction / flappy fraction / "
+             "per-pair loss probability)",
+    )
+    run_cmd.add_argument(
+        "--faults-file", default=None, metavar="PATH",
+        help="replay a recorded fault timeline JSON (overrides --faults)",
+    )
+    run_cmd.add_argument(
+        "--save-faults", default=None, metavar="PATH",
+        help="write the session's (generated or loaded) fault timeline to PATH",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
 
@@ -119,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_list(args: argparse.Namespace) -> int:
     print("drift generators:", ", ".join(DRIFT_NAMES))
     print("predictors:      ", ", ".join(PREDICTOR_NAMES))
+    print("fault generators:", ", ".join(FAULT_NAMES))
     print("(oracle reads true rates off the timeline; stale freezes the "
           "hour-0 profile)")
     return 0
@@ -167,11 +188,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_tasks=args.max_tasks,
         epoch_s=args.epoch_s,
         timeline_path=args.timeline,
+        faults=args.faults,
+        fault_strength=args.fault_strength,
+        faults_path=args.faults_file,
     )
-    if args.save_timeline:
-        _, _, _, timeline = build_churn_session(args.seed, **session_kwargs)
-        timeline.save(args.save_timeline)
-        print(f"wrote timeline to {args.save_timeline}", file=sys.stderr)
+    if args.save_timeline or args.save_faults:
+        provider, _, _, timeline = build_churn_session(args.seed, **session_kwargs)
+        if args.save_timeline:
+            timeline.save(args.save_timeline)
+            print(f"wrote timeline to {args.save_timeline}", file=sys.stderr)
+        if args.save_faults:
+            from repro.faults import FaultTimeline
+
+            fault_timeline = provider.fault_timeline or FaultTimeline()
+            fault_timeline.save(args.save_faults)
+            print(f"wrote fault timeline to {args.save_faults}", file=sys.stderr)
 
     report = run_churn_session(
         args.seed,
@@ -194,11 +225,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             **session_kwargs,
         )
 
-    print(
+    line = (
         f"session: {args.hours:g} epoch(s) of {args.epoch_s:g}s, drift "
         f"{args.drift}, predictor {args.predictor}, placer {args.placer}, "
         f"seed {args.seed}"
     )
+    if args.faults_file:
+        line += f", faults from {args.faults_file}"
+    elif args.faults != "none":
+        line += f", faults {args.faults}"
+    print(line)
     oracle_by_name = (
         {a.name: a for a in oracle.apps} if oracle is not None else {}
     )
@@ -228,6 +264,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{report.measurement.get('campaigns', 0)} campaign(s) "
         f"(reused {report.measurement.get('pairs_reused', 0)})"
     )
+    if report.recovery:
+        replaced = sum(1 for a in report.recovery if a.action == "re-placed")
+        print(
+            f"recovery: {len(report.recovery)} action(s), "
+            f"{replaced} re-placement(s), "
+            f"{report.measurement.get('pairs_degraded', 0)} degraded pair(s)"
+        )
     payload = {"report": report.to_json_dict()}
     if completed:
         print(f"mean completion time: {report.mean_completion_time_s:.1f}s")

@@ -6,17 +6,26 @@ rate and timestamp per ordered pair (the timestamps come from
 :attr:`~repro.core.network_profile.NetworkProfile.pair_measured_at`) and,
 on refresh, asks the measurer to re-probe only the pairs whose age exceeds
 the TTL — the rest of the mesh is served from cache.
+
+The cache also absorbs measurement *failure*: pairs the campaign reports as
+degraded (probes failed even after retries) coast on their last cached rate
+or fall back to a caller-supplied predictor, and are deliberately left
+stale so the next refresh re-probes them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cloud.provider import VMFlow
 from repro.core.measurement.orchestrator import NetworkMeasurer
 from repro.core.network_profile import NetworkProfile
 from repro.errors import ServiceError
+
+#: Rate used for a degraded pair with no cached value and no fallback:
+#: effectively "assume the worst", matching the measurer's 1 bps floor.
+DEGRADED_FLOOR_BPS = 1.0
 
 
 @dataclass
@@ -26,6 +35,7 @@ class CacheStats:
     campaigns: int = 0
     pairs_measured: int = 0
     pairs_reused: int = 0
+    pairs_degraded: int = 0
     measurement_time_s: float = 0.0
 
     def to_json_dict(self) -> dict:
@@ -33,6 +43,7 @@ class CacheStats:
             "campaigns": self.campaigns,
             "pairs_measured": self.pairs_measured,
             "pairs_reused": self.pairs_reused,
+            "pairs_degraded": self.pairs_degraded,
             "measurement_time_s": round(self.measurement_time_s, 3),
         }
 
@@ -72,7 +83,11 @@ class MeasurementCache:
         return [(s, d) for s in self.vms for d in self.vms if s != d]
 
     def stale_pairs(self, now: float) -> List[Tuple[str, str]]:
-        """Pairs never measured or older than the TTL at ``now``."""
+        """Pairs never measured or older than the TTL at ``now``.
+
+        The comparison is strict: a pair stamped *exactly* ``ttl_s`` ago is
+        still fresh — it goes stale the instant after.
+        """
         return [
             pair
             for pair in self.mesh_pairs()
@@ -85,12 +100,46 @@ class MeasurementCache:
         measured = self._measured_at.get(pair)
         return None if measured is None else now - measured
 
+    # ------------------------------------------------------------- topology
+    def remove_vm(self, vm: str) -> None:
+        """Drop a VM (e.g. preempted) and every pair touching it.
+
+        Raises:
+            ServiceError: unknown VM, or fewer than two VMs would remain.
+        """
+        if vm not in self.vms:
+            raise ServiceError(f"measurement cache does not cover VM {vm!r}")
+        if len(self.vms) <= 2:
+            raise ServiceError(
+                f"cannot remove {vm!r}: the measurement cache needs at "
+                "least two VMs"
+            )
+        self.vms.remove(vm)
+        for pair in [p for p in self._rates if vm in p]:
+            del self._rates[pair]
+            self._measured_at.pop(pair, None)
+
+    def invalidate_pairs(self, pairs: Iterable[Tuple[str, str]]) -> int:
+        """Force pairs stale (their cached rate survives as a fallback).
+
+        Used for targeted re-measurement: when a fault event degrades a
+        VM's link, the service invalidates every pair touching it so the
+        next refresh re-probes exactly those.  Returns how many covered
+        pairs were actually invalidated.
+        """
+        invalidated = 0
+        for pair in pairs:
+            if self._measured_at.pop(pair, None) is not None:
+                invalidated += 1
+        return invalidated
+
     # -------------------------------------------------------------- refresh
     def refresh(
         self,
         now: float,
         background: Sequence[VMFlow] = (),
         force: bool = False,
+        fallback: Optional[Callable[[Tuple[str, str]], Optional[float]]] = None,
     ) -> NetworkProfile:
         """Re-probe stale pairs and return the merged full-mesh profile.
 
@@ -98,6 +147,12 @@ class MeasurementCache:
             now: current provider time (ages are computed against it).
             background: flows the campaign should see as cross traffic.
             force: re-probe the full mesh regardless of age.
+            fallback: called with a pair the campaign reported as degraded
+                and that has no cached rate; may return a predicted rate
+                (the service passes the forecaster here).  Degraded pairs
+                with a cached rate coast on it.  Either way the pair's
+                timestamp is *not* advanced, so it stays stale and is
+                re-probed on the next refresh.
         """
         stale = self.mesh_pairs() if force else self.stale_pairs(now)
         if stale:
@@ -107,8 +162,16 @@ class MeasurementCache:
             for pair, rate in fresh.rates_bps.items():
                 self._rates[pair] = rate
                 self._measured_at[pair] = fresh.measured_at_pair(*pair)
+            for pair in fresh.degraded_pairs:
+                if pair not in self._rates:
+                    predicted = fallback(pair) if fallback is not None else None
+                    self._rates[pair] = (
+                        predicted if predicted is not None and predicted > 0
+                        else DEGRADED_FLOOR_BPS
+                    )
             self.stats.campaigns += 1
-            self.stats.pairs_measured += len(stale)
+            self.stats.pairs_measured += len(stale) - len(fresh.degraded_pairs)
+            self.stats.pairs_degraded += len(fresh.degraded_pairs)
             self.stats.measurement_time_s += fresh.measurement_duration_s
         self.stats.pairs_reused += len(self.mesh_pairs()) - len(stale)
         return self.profile(now)

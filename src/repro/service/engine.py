@@ -31,13 +31,14 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.provider import CloudProvider, VMFlow
 from repro.core.measurement.orchestrator import MeasurementPlan, NetworkMeasurer
 from repro.core.network_profile import NetworkProfile
 from repro.core.placement.base import ClusterState, Placer
 from repro.errors import ReproError, ServiceError
+from repro.faults import FaultEvent, LinkDegradation, ProbeLoss, VmPreemption
 from repro.runtime.migration import (
     LiveApp,
     MigrationEvent,
@@ -61,6 +62,8 @@ class AppOutcome:
     arrived_at: float
     completed_at: Optional[float] = None
     migrations: int = 0
+    #: Forced re-placements the self-healing loop applied (VM preemptions).
+    recoveries: int = 0
     error: Optional[str] = None
 
     @property
@@ -82,7 +85,43 @@ class AppOutcome:
                 round(self.duration, 6) if self.duration is not None else None
             ),
             "migrations": self.migrations,
+            "recoveries": self.recoveries,
             "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One healing step the service took in response to a fault event.
+
+    ``latency_s`` — the time between the fault taking effect and the
+    service acting on it — is the recovery-latency metric the ``faults``
+    bench tracks; the service only observes faults at epoch boundaries, so
+    it is bounded by the epoch length.
+    """
+
+    time_s: float  # when the service acted (an epoch boundary)
+    event_time_s: float  # when the fault took effect
+    epoch: int
+    kind: str  # "vm-preemption" | "link-degradation" | "probe-loss"
+    target: str  # VM name, or "src->dst" for probe loss
+    action: str  # "re-placed" | "re-measured" | "degraded-coast" | "rejected"
+    apps: Tuple[str, ...] = ()
+
+    @property
+    def latency_s(self) -> float:
+        return self.time_s - self.event_time_s
+
+    def to_json_dict(self) -> dict:
+        return {
+            "time_s": round(self.time_s, 6),
+            "event_time_s": round(self.event_time_s, 6),
+            "latency_s": round(self.latency_s, 6),
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "target": self.target,
+            "action": self.action,
+            "apps": list(self.apps),
         }
 
 
@@ -98,6 +137,7 @@ class ServiceReport:
     drift: str
     apps: List[AppOutcome] = field(default_factory=list)
     migrations: List[MigrationEvent] = field(default_factory=list)
+    recovery: List[RecoveryAction] = field(default_factory=list)
     measurement: Dict[str, object] = field(default_factory=dict)
     #: Host wall clock of the whole session / of measurement+placement only.
     session_wall_s: float = 0.0
@@ -158,6 +198,7 @@ class ServiceReport:
                 }
                 for event in self.migrations
             ],
+            "recovery": [action.to_json_dict() for action in self.recovery],
             "measurement": dict(self.measurement),
             "session_wall_s": round(self.session_wall_s, 6),
             "placement_wall_s": round(self.placement_wall_s, 6),
@@ -239,7 +280,11 @@ class PlacementService:
         self.forecaster = (
             RateForecaster(predictor) if predictor != "oracle" else None
         )
+        #: Fault schedule, if one is attached (see repro.faults); the
+        #: service consumes fault events at epoch boundaries and heals.
+        self.faults = getattr(provider, "fault_timeline", None)
         self._migrations: List[MigrationEvent] = []
+        self._recovery: List[RecoveryAction] = []
         #: Final placement of every admitted application after the last
         #: session (post-migration), keyed by application name.
         self.last_placements: Dict[str, object] = {}
@@ -288,15 +333,22 @@ class PlacementService:
         running: Dict[str, LiveApp] = {}
         outcomes: Dict[str, AppOutcome] = {}
         self._migrations: List[MigrationEvent] = []
+        self._recovery: List[RecoveryAction] = []
         pending = list(ordered)
         now = 0.0
         epoch = 0
         placement_wall = 0.0
+        #: Fault events with effect times <= this have been handled.
+        fault_watermark = 0.0
+        have_faults = self.faults is not None and not self.faults.is_empty
 
         # Epoch-0 bootstrap: the classic measure-then-place full mesh.
         if self.predictor != "oracle":
             place_started = time.perf_counter()
-            self.cache.refresh(now, background=[], force=True)
+            self.cache.refresh(
+                now, background=[], force=True,
+                fallback=self._forecast_fallback(epoch),
+            )
             placement_wall += time.perf_counter() - place_started
 
         pending = self._admit_due(pending, running, outcomes, now, epoch)
@@ -311,8 +363,11 @@ class PlacementService:
             rates_frozen = (
                 timeline is None or epoch >= timeline.n_epochs - 1
             ) and now >= horizon
-            if rates_frozen and math.isinf(next_arrival):
-                # No more drift and no more arrivals: drain in one pass.
+            faults_pending = have_faults and self.faults.pending_after(
+                fault_watermark
+            )
+            if rates_frozen and math.isinf(next_arrival) and not faults_pending:
+                # No more drift, arrivals, or faults: drain in one pass.
                 advance_live_apps(self.provider, running, now, until=None)
                 break
             target = min(next_arrival, next_boundary)
@@ -322,6 +377,17 @@ class PlacementService:
 
             if now >= next_boundary - 1e-9:
                 epoch += 1
+                if have_faults:
+                    # Heal at *every* boundary — including past the horizon,
+                    # where a late preemption would otherwise stall the drain.
+                    events = self.faults.events_between(fault_watermark, now)
+                    fault_watermark = now
+                    if events:
+                        place_started = time.perf_counter()
+                        self._handle_fault_events(
+                            events, running, outcomes, now, epoch
+                        )
+                        placement_wall += time.perf_counter() - place_started
                 if now < horizon - 1e-9:
                     place_started = time.perf_counter()
                     self._epoch_tick(running, outcomes, now, epoch)
@@ -338,12 +404,199 @@ class PlacementService:
         }
         report.apps = [outcomes[app.name] for app in ordered]
         report.migrations = list(self._migrations)
+        report.recovery = list(self._recovery)
         report.measurement = self.cache.stats.to_json_dict()
         report.placement_wall_s = placement_wall
         report.session_wall_s = time.perf_counter() - session_started
         return report
 
     # ------------------------------------------------------------ internals
+    def _forecast_fallback(self, epoch: int):
+        """Predicted-rate fallback for pairs a campaign could not measure.
+
+        ``None`` for the stale/oracle controls (they never refresh); for the
+        history predictors, a callable the :class:`MeasurementCache` invokes
+        with a degraded pair — the forecaster's prediction stands in for the
+        unobtainable measurement (flagged via ``pairs_degraded`` in stats).
+        """
+        if self.forecaster is None or self.predictor == "stale":
+            return None
+        forecaster = self.forecaster
+        return lambda pair: forecaster.forecast_pair(pair, epoch)
+
+    def _recovery_profile(self) -> NetworkProfile:
+        """The profile forced re-placements are made against.
+
+        The oracle reads true rates; everyone else uses the cache's
+        last-known view *without probing* — recovery must work even past
+        the measurement horizon, and the affected VM's pairs are already
+        gone from the mesh by the time this is called.
+        """
+        if self.predictor == "oracle":
+            return NetworkProfile.from_rate_function(
+                self.cluster.machine_names(), self.provider.true_path_rate
+            )
+        return self.cache.profile(self.provider.now)
+
+    def _cluster_sans_dead(
+        self, running: Dict[str, LiveApp], exclude: Optional[str] = None
+    ) -> ClusterState:
+        """Like :func:`cluster_with_live_usage`, dropping usage on machines
+        no longer in the cluster (placements pointing at a just-preempted VM
+        must not poison the rebuilt cluster while their apps queue for
+        re-placement)."""
+        known = set(self.cluster.machine_names())
+        usage: Dict[str, float] = {}
+        for name, state in running.items():
+            if name == exclude or state.done:
+                continue
+            for machine, cores in state.placement.cpu_usage(state.app).items():
+                if machine in known:
+                    usage[machine] = usage.get(machine, 0.0) + cores
+        return self.cluster.with_usage(usage)
+
+    def _handle_fault_events(
+        self,
+        events: Sequence[FaultEvent],
+        running: Dict[str, LiveApp],
+        outcomes: Dict[str, AppOutcome],
+        now: float,
+        epoch: int,
+    ) -> None:
+        """React to the fault events that took effect since the last check."""
+        for event in events:
+            if isinstance(event, VmPreemption):
+                self._recover_preemption(event, running, outcomes, now, epoch)
+            elif isinstance(event, LinkDegradation):
+                self._recover_degradation(event, running, now, epoch)
+            elif isinstance(event, ProbeLoss):
+                # The measurement layer already absorbed this (retry, then
+                # forecast fallback); record that the service coasted.
+                self._recovery.append(
+                    RecoveryAction(
+                        time_s=now,
+                        event_time_s=event.effect_time_s,
+                        epoch=epoch,
+                        kind="probe-loss",
+                        target=f"{event.src}->{event.dst}",
+                        action="degraded-coast",
+                    )
+                )
+
+    def _apps_on_vm(self, running: Dict[str, LiveApp], vm: str) -> List[str]:
+        """Running (not-done) applications with at least one task on ``vm``."""
+        return sorted(
+            name
+            for name, state in running.items()
+            if not state.done and vm in state.placement.assignments.values()
+        )
+
+    def _recover_preemption(
+        self,
+        event: VmPreemption,
+        running: Dict[str, LiveApp],
+        outcomes: Dict[str, AppOutcome],
+        now: float,
+        epoch: int,
+    ) -> None:
+        """Remove a preempted VM and force-re-place the apps it carried."""
+        vm = event.vm
+        if vm not in self.cluster.machine_names():
+            return  # already removed (duplicate event)
+        affected = self._apps_on_vm(running, vm)
+        survivors = [m for m in self.cluster.machines if m.name != vm]
+        if len(survivors) < 2:
+            # Too few VMs left to re-place or even measure: coast and hope.
+            self._recovery.append(
+                RecoveryAction(
+                    time_s=now, event_time_s=event.time_s, epoch=epoch,
+                    kind="vm-preemption", target=vm,
+                    action="degraded-coast", apps=tuple(affected),
+                )
+            )
+            return
+        self.cluster = ClusterState(
+            machines=survivors,
+            cpu_used={
+                k: v for k, v in self.cluster.cpu_used.items() if k != vm
+            },
+        )
+        if vm in self.cache.vms:
+            self.cache.remove_vm(vm)
+        replaced: List[str] = []
+        rejected: List[str] = []
+        for name in affected:
+            state = running[name]
+            remaining_app = state.remaining_application()
+            try:
+                placement = self.placer.place(
+                    remaining_app,
+                    self._cluster_sans_dead(running, exclude=name),
+                    self._recovery_profile(),
+                )
+            except ReproError as exc:
+                # Cannot re-place the survivor tasks: the app fails
+                # gracefully instead of stalling the session forever.
+                del running[name]
+                outcomes[name].status = "rejected"
+                outcomes[name].completed_at = None
+                outcomes[name].error = (
+                    f"VM {vm} preempted at t={event.time_s:.0f}s and the "
+                    f"remainder could not be re-placed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                rejected.append(name)
+                continue
+            state.placement = placement
+            outcomes[name].recoveries += 1
+            replaced.append(name)
+        self._recovery.append(
+            RecoveryAction(
+                time_s=now, event_time_s=event.time_s, epoch=epoch,
+                kind="vm-preemption", target=vm,
+                # A preempted VM with nothing re-placeable on it still
+                # records the removal, just not as a re-placement.
+                action="re-placed" if replaced else "removed",
+                apps=tuple(replaced),
+            )
+        )
+        if rejected:
+            self._recovery.append(
+                RecoveryAction(
+                    time_s=now, event_time_s=event.time_s, epoch=epoch,
+                    kind="vm-preemption", target=vm,
+                    action="rejected", apps=tuple(rejected),
+                )
+            )
+
+    def _recover_degradation(
+        self,
+        event: LinkDegradation,
+        running: Dict[str, LiveApp],
+        now: float,
+        epoch: int,
+    ) -> None:
+        """Invalidate cached pairs touching a degraded VM (targeted
+        re-measurement at the next refresh); controls without a live cache
+        coast on what they have."""
+        vm = event.vm
+        affected = self._apps_on_vm(running, vm)
+        uses_cache = self.predictor not in ("oracle", "stale")
+        if uses_cache and vm in self.cache.vms:
+            self.cache.invalidate_pairs(
+                [p for p in self.cache.mesh_pairs() if vm in p]
+            )
+            action = "re-measured"
+        else:
+            action = "degraded-coast"
+        self._recovery.append(
+            RecoveryAction(
+                time_s=now, event_time_s=event.start_s, epoch=epoch,
+                kind="link-degradation", target=vm,
+                action=action, apps=tuple(affected),
+            )
+        )
+
     def _placement_profile(
         self, running: Dict[str, LiveApp], now: float, epoch: int
     ) -> NetworkProfile:
@@ -366,7 +619,10 @@ class PlacementService:
             # Frozen hour-0 view: bootstrap mesh only, never refreshed.
             return self.cache.profile(now)
         background = live_background_flows(running, now)
-        current = self.cache.refresh(now, background=background)
+        current = self.cache.refresh(
+            now, background=background,
+            fallback=self._forecast_fallback(epoch),
+        )
         return self.forecaster.forecast_profile(current, epoch)
 
     def _epoch_tick(
@@ -385,7 +641,8 @@ class PlacementService:
             # Still refresh the cache so history keeps accumulating.
             if self.predictor not in ("oracle", "stale"):
                 self.cache.refresh(
-                    now, background=live_background_flows(running, now)
+                    now, background=live_background_flows(running, now),
+                    fallback=self._forecast_fallback(epoch),
                 )
             return
         # One refresh + forecast per tick, shared by every migration

@@ -18,6 +18,7 @@ from repro.cloud.provider import CloudProvider
 from repro.cloud.registry import make_provider
 from repro.core.placement.base import ClusterState, Placer
 from repro.errors import ServiceError
+from repro.faults import FaultTimeline, attach_faults, generate_faults
 from repro.service.engine import PlacementService, ServiceReport
 from repro.service.timeline import (
     DEFAULT_EPOCH_S,
@@ -33,10 +34,12 @@ from repro.workloads.generator import HPCloudWorkloadGenerator, WorkloadSpec
 #: defined (still drifting) network.
 TAIL_EPOCHS = 8
 
-#: Seed offsets: the timeline and workload streams must not be correlated
-#: with the provider's own RNG (which seeds VM host choices and hose caps).
+#: Seed offsets: the timeline, workload, and fault streams must not be
+#: correlated with the provider's own RNG (which seeds VM host choices and
+#: hose caps) or with each other.
 _TIMELINE_SEED_SALT = 0x7117E
 _WORKLOAD_SEED_SALT = 0xA9915
+_FAULT_SEED_SALT = 0xFA0175
 
 
 def build_churn_session(
@@ -50,6 +53,9 @@ def build_churn_session(
     provider_name: str = "ec2",
     epoch_s: float = DEFAULT_EPOCH_S,
     timeline_path: Optional[str] = None,
+    faults: str = "none",
+    fault_strength: Optional[float] = None,
+    faults_path: Optional[str] = None,
 ) -> Tuple[CloudProvider, ClusterState, List[Application], NetworkTimeline]:
     """Realise one seeded churn session (timeline already attached).
 
@@ -67,6 +73,13 @@ def build_churn_session(
         epoch_s: epoch length (the tests shrink it to keep sessions fast).
         timeline_path: load a recorded timeline from disk instead of
             generating one (its VM names must match the provider's).
+        faults: fault-timeline generator (``"none"`` attaches nothing, so
+            the session is bit-identical to a pre-faults one).
+        fault_strength: generator knob; ``None`` uses the generator's
+            default.
+        faults_path: load a recorded fault timeline from disk instead of
+            generating one (overrides ``faults``; its VM names must be a
+            subset of the provider's).
     """
     if n_vms < 2:
         raise ServiceError("a churn session needs at least two VMs")
@@ -98,6 +111,23 @@ def build_churn_session(
             epoch_s=epoch_s,
         )
     attach_timeline(provider, timeline)
+
+    if faults_path is not None:
+        fault_timeline = FaultTimeline.load(faults_path)
+    else:
+        # Fault events land inside the admission horizon (not the drain
+        # tail): a preemption after the last arrival still exercises
+        # recovery, but one after the drain would be unobservable.
+        fault_timeline = generate_faults(
+            [vm.name for vm in provider.vms()],
+            n_epochs=max(2, int(round(hours))),
+            faults=faults,
+            seed=seed ^ _FAULT_SEED_SALT,
+            strength=fault_strength,
+            epoch_s=timeline.epoch_s,
+        )
+    if not fault_timeline.is_empty:
+        attach_faults(provider, fault_timeline)
 
     horizon = hours * timeline.epoch_s
     n_apps = max(1, int(round(apps_per_hour * hours)))

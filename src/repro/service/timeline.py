@@ -146,10 +146,8 @@ class NetworkTimeline:
             payload = json.loads(source.read_text())
         except (OSError, ValueError) as exc:
             raise ServiceError(f"cannot read timeline {source}: {exc}") from exc
-        if payload.get("schema") != _SCHEMA:
-            raise ServiceError(
-                f"{source} is not a timeline file (schema {payload.get('schema')!r})"
-            )
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            raise ServiceError(f"{source} is not a timeline file (schema {_SCHEMA})")
         try:
             pair_epochs = []
             for epoch in payload.get("pair_epochs") or []:
@@ -169,7 +167,11 @@ class NetworkTimeline:
                 pair_epochs=pair_epochs,
                 drift=str(payload.get("drift", "recorded")),
             )
-        except (KeyError, TypeError, ValueError) as exc:
+        except KeyError as exc:
+            raise ServiceError(
+                f"malformed timeline {source}: missing field {exc}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
             raise ServiceError(f"malformed timeline {source}: {exc}") from exc
 
 

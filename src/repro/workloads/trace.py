@@ -80,7 +80,11 @@ def read_trace(path: Union[str, Path]) -> List[FlowRecord]:
     """Read records from a CSV file written by :func:`write_trace`."""
     path = Path(path)
     records: List[FlowRecord] = []
-    with path.open(newline="") as handle:
+    try:
+        handle_cm = path.open(newline="")
+    except OSError as exc:
+        raise WorkloadError(f"cannot read trace {path}: {exc}") from exc
+    with handle_cm as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or tuple(reader.fieldnames) != _FIELDS:
             raise WorkloadError(
@@ -133,7 +137,11 @@ def read_trace_jsonl(path: Union[str, Path]) -> List[FlowRecord]:
     (or any flow collector emitting the same keys)."""
     path = Path(path)
     records: List[FlowRecord] = []
-    with path.open() as handle:
+    try:
+        handle_cm = path.open()
+    except OSError as exc:
+        raise WorkloadError(f"cannot read trace {path}: {exc}") from exc
+    with handle_cm as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

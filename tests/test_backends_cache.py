@@ -346,3 +346,125 @@ def test_summary_surfaces_dropped_trials():
         records=[rec("random", 0, 2.0), rec("round-robin", 0, 1.0)],
     )
     assert clean.summary()["s"]["round-robin"]["dropped_trials"] == 0
+
+
+# ------------------------------------------------------- worker-loss chaos
+def _chaos_items(n=6):
+    return [WorkItem.make("smoke", "random", trial, 0) for trial in range(n)]
+
+
+def test_chaos_crashed_worker_is_salvaged_and_result_is_bit_identical(
+    tmp_path, monkeypatch
+):
+    items = _chaos_items()
+    expected = create_backend("inline").map_trials(items)
+
+    monkeypatch.setenv("REPRO_WORKER_CHAOS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_WORKER_CHAOS_MODE", "crash")
+    backend = SubprocessPoolBackend(workers=2, max_retries=2)
+    records = backend.map_trials(items)
+    assert (tmp_path / "chaos-fired").exists(), "chaos hook never armed"
+
+    def canonical(recs):
+        return json.dumps(
+            [
+                {
+                    k: v
+                    for k, v in vars(rec).items()
+                    if k not in ("trial_wall_s", "placement_wall_s")
+                }
+                for rec in recs
+            ],
+            sort_keys=True,
+        )
+
+    assert canonical(records) == canonical(expected)
+
+
+def test_chaos_hung_worker_is_killed_and_work_retried(tmp_path, monkeypatch):
+    items = _chaos_items(2)
+    expected = create_backend("inline").map_trials(items)
+
+    monkeypatch.setenv("REPRO_WORKER_CHAOS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_WORKER_CHAOS_MODE", "hang")
+    backend = SubprocessPoolBackend(workers=1, max_retries=1, chunk_timeout_s=10.0)
+    records = backend.map_trials(items)
+    assert [rec.seed for rec in records] == [rec.seed for rec in expected]
+    assert [rec.total_running_time_s for rec in records] == [
+        rec.total_running_time_s for rec in expected
+    ]
+
+
+def test_chaos_crash_with_no_retry_budget_raises(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKER_CHAOS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_WORKER_CHAOS_MODE", "crash")
+    backend = SubprocessPoolBackend(workers=1, max_retries=0)
+    with pytest.raises(ExperimentError, match="gave up"):
+        backend.map_trials(_chaos_items(2))
+
+
+def test_subprocess_pool_rejects_bad_options():
+    with pytest.raises(ExperimentError):
+        create_backend("subprocess-pool", options={"bogus": 1})
+    with pytest.raises(ExperimentError):
+        create_backend("inline", options={"max_retries": 1})
+    with pytest.raises(ExperimentError):
+        SubprocessPoolBackend(max_retries=-1)
+    with pytest.raises(ExperimentError):
+        SubprocessPoolBackend(chunk_timeout_s=0.0)
+
+
+def test_config_threads_subprocess_pool_options():
+    config = _small_config(
+        backend="subprocess-pool", max_retries=4, chunk_timeout_s=30.0
+    )
+    assert config.backend_options == {"max_retries": 4, "chunk_timeout_s": 30.0}
+    assert _small_config(backend="inline", workers=1).backend_options == {}
+    with pytest.raises(ExperimentError):
+        _small_config(backend="inline", chunk_timeout_s=30.0)
+
+
+# ------------------------------------------------------ keep-going trials
+def test_keep_going_captures_crashing_trial(monkeypatch):
+    import repro.experiments.trials as trials_mod
+
+    def boom(name):
+        raise RuntimeError("synthetic bug")
+
+    monkeypatch.setattr(trials_mod, "get_scenario", boom)
+    record = run_trial("smoke", "random", 0, 0)
+    assert record.status == "error"
+    assert "RuntimeError: synthetic bug" in record.error
+
+    with pytest.raises(RuntimeError):
+        run_trial("smoke", "random", 0, 0, fail_fast=True)
+
+
+def test_fail_fast_rides_the_work_item_wire_format():
+    item = WorkItem.make("smoke", "random", 0, 0, fail_fast=True)
+    assert WorkItem.from_json_dict(item.to_json_dict()) == item
+    # Error policy must not split the cache: items differing only in
+    # fail_fast share a persistent-store key.
+    store_fields = (item.scenario, item.placer, item.trial, item.seed)
+    other = WorkItem.make("smoke", "random", 0, 0, fail_fast=False)
+    assert store_fields == (other.scenario, other.placer, other.trial, other.seed)
+
+
+def test_result_json_carries_top_level_dropped_trials():
+    records = [
+        TrialRecord(scenario="s", placer="random", trial=0, seed=1),
+        TrialRecord(
+            scenario="s", placer="random", trial=1, seed=2,
+            status="error", error="RuntimeError: synthetic",
+        ),
+    ]
+    result = ExperimentResult(
+        scenarios=["s"], placers=["random"], trials=2,
+        base_seed=0, baseline="random", records=records,
+    )
+    payload = result.to_json_dict()
+    assert payload["dropped_trials"] == [
+        {"scenario": "s", "placer": "random", "trial": 1,
+         "error": "RuntimeError: synthetic"}
+    ]
+    assert result.canonical_json_dict()["dropped_trials"] == payload["dropped_trials"]

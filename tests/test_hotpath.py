@@ -422,9 +422,9 @@ class TestRunnerTrialMemoization:
         calls = []
         original = trials_mod.run_trial
 
-        def counting(scenario, placer, trial, base_seed, *params):
+        def counting(scenario, placer, trial, base_seed, *params, **kwargs):
             calls.append((scenario, placer, trial))
-            return original(scenario, placer, trial, base_seed, *params)
+            return original(scenario, placer, trial, base_seed, *params, **kwargs)
 
         monkeypatch.setattr(trials_mod, "run_trial", counting)
         config = ExperimentConfig(
@@ -451,9 +451,9 @@ class TestRunnerTrialMemoization:
         calls = []
         original = trials_mod.run_trial
 
-        def counting(scenario, placer, trial, base_seed, *params):
+        def counting(scenario, placer, trial, base_seed, *params, **kwargs):
             calls.append((scenario, placer, trial))
-            return original(scenario, placer, trial, base_seed, *params)
+            return original(scenario, placer, trial, base_seed, *params, **kwargs)
 
         monkeypatch.setattr(trials_mod, "run_trial", counting)
         config = ExperimentConfig(
