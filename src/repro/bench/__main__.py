@@ -4,8 +4,8 @@ A thin alias for ``python -m repro bench`` (see :mod:`repro.cli`, which
 owns the shared ``--seed``/``--output`` flags).  Runs the hot-path
 benchmark suite, prints the JSON report, and writes it to a
 ``BENCH_*.json`` file.  Exits with status 1 when any optimised path
-disagrees with its reference implementation — speed regressions are
-tracked, correctness regressions fail.
+disagrees with its reference implementation, or when a full (non
+``--quick``) run records a tracked speedup below its floor.
 """
 
 from __future__ import annotations
@@ -81,6 +81,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ]
         print(
             f"ERROR: optimised path(s) disagree with reference: {mismatched}",
+            file=sys.stderr,
+        )
+        return 1
+    targets = payload["targets"]
+    if not targets.get("met", True):
+        below = [
+            f"{key}={targets[key]} < {floor}"
+            for key, floor in (
+                (k[: -len("_min")], v)
+                for k, v in targets.items()
+                if k.endswith("_min")
+            )
+            if (targets.get(key) or 0) < floor
+        ]
+        print(
+            f"ERROR: tracked speedup(s) below floor: {below}",
             file=sys.stderr,
         )
         return 1

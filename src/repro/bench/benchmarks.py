@@ -8,6 +8,7 @@ win.  All inputs derive from explicit seeds, so runs are reproducible.
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 import random
@@ -35,7 +36,31 @@ TARGET_ALLOCATOR_SPEEDUP = 5.0
 TARGET_E2E_SPEEDUP = 2.0
 TARGET_RESUME_SPEEDUP = 5.0
 TARGET_ILP_SPEEDUP = 3.0
+TARGET_ILP_PIPE_SPEEDUP = 2.0
 TARGET_SCALE_SPEEDUP = 5.0
+TARGET_FLUID_LOOP_SPEEDUP = 5.0
+TARGET_ROUTING_SPEEDUP = 10.0
+TARGET_MEGA_FLUID_SPEEDUP = 2.0
+
+
+def _env_params() -> Dict[str, object]:
+    """Environment facts a reader needs to interpret the timings: library
+    versions and the auto-mode thresholds that decide which code path ran."""
+    import platform
+
+    import numpy
+    import scipy
+
+    from repro.net.alloc import vector_thresholds
+    from repro.net.fluid import loop_threshold
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "vector_thresholds": list(vector_thresholds()),
+        "loop_threshold": loop_threshold(),
+    }
 
 
 def _close(a: float, b: float, tol: float = 1e-9) -> bool:
@@ -230,6 +255,216 @@ def bench_fluid(
 
 
 # ---------------------------------------------------------------------------
+# Fluid event loop (scalar vs vectorised) on a datacenter tree
+# ---------------------------------------------------------------------------
+def _numeric_hosts(topo) -> List[str]:
+    """Hosts in coordinate order (``host10`` after ``host9``), so slicing
+    by rack size yields the builder's actual racks — ``topo.hosts()`` is
+    lexicographic and interleaves pods."""
+    return sorted(topo.hosts(), key=lambda h: int(h[4:]))
+
+
+def _tree_rack_flows(
+    topo,
+    hosts_per_rack: int,
+    seed: int,
+    p_flow: float,
+    stagger_s: float = 0.05,
+    capped_frac: float = 0.3,
+) -> List[Flow]:
+    """Rack-local random meshes: each rack's hosts exchange flows with
+    probability ``p_flow`` per ordered pair.  Racks are independent sharing
+    components, so the allocator's partial re-solves stay engaged — the
+    regime real tenant placements produce."""
+    rng = random.Random(seed)
+    hosts = _numeric_hosts(topo)
+    flows: List[Flow] = []
+    i = 0
+    for r in range(0, len(hosts), hosts_per_rack):
+        for a, b in itertools.permutations(hosts[r : r + hosts_per_rack], 2):
+            if rng.random() < p_flow:
+                cap = (
+                    rng.choice([0.2, 0.5]) * GBITPS
+                    if rng.random() < capped_frac
+                    else None
+                )
+                flows.append(
+                    Flow(
+                        flow_id=f"f{i}", src=a, dst=b,
+                        size_bytes=rng.uniform(0.1, 5.0) * MBYTE,
+                        start_time=rng.uniform(0.0, stagger_s),
+                        max_rate_bps=cap,
+                    )
+                )
+                i += 1
+    return flows
+
+
+def _fluid_results_identical(a, b) -> bool:
+    """Dict-level equality of two :class:`FluidResult`s — bitwise, not
+    tolerance-based: completion times, remaining bytes, states, end time,
+    and every per-flow rate segment."""
+
+    def segs(result):
+        return {
+            fid: [(s.start, s.end, s.rate_bps) for s in tl.segments]
+            for fid, tl in result.timelines.items()
+        }
+
+    return (
+        a.completion_times == b.completion_times
+        and a.remaining_bytes == b.remaining_bytes
+        and a.end_time == b.end_time
+        and a.states == b.states
+        and segs(a) == segs(b)
+    )
+
+
+def bench_fluid_loop(
+    pods: int = 8,
+    racks_per_pod: int = 8,
+    hosts_per_rack: int = 16,
+    num_cores: int = 4,
+    p_flow: float = 0.10,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Vectorised fluid event loop vs the scalar loop, identical allocator.
+
+    Both passes use the default (incremental) allocator on the same
+    workload, so the A/B isolates the event loop itself: array-backed
+    next-event search and batched drain/retire against the per-flow Python
+    scan.  The results must be *bit-identical* (dict equality down to rate
+    segments), which is the vector loop's contract.
+    """
+    from repro.net.fluid import LOOP_SCALAR, LOOP_VECTOR
+    from repro.net.topology import TreeSpec, build_multi_rooted_tree
+
+    spec = TreeSpec(
+        pods=pods, racks_per_pod=racks_per_pod,
+        hosts_per_rack=hosts_per_rack, num_cores=num_cores,
+    )
+    topo = build_multi_rooted_tree(spec)
+    flows = _tree_rack_flows(topo, hosts_per_rack, seed, p_flow)
+
+    def run(loop: str):
+        sim = FluidSimulation(topo, loop=loop)
+        sim.add_flows(flows)
+        started = time.perf_counter()
+        result = sim.run()
+        return time.perf_counter() - started, result
+
+    reference_s, ref = run(LOOP_SCALAR)
+    optimized_s, got = run(LOOP_VECTOR)
+    return {
+        "name": "fluid_loop",
+        "params": {
+            "pods": pods, "racks_per_pod": racks_per_pod,
+            "hosts_per_rack": hosts_per_rack, "num_cores": num_cores,
+            "p_flow": p_flow, "n_hosts": len(topo.hosts()),
+            **_env_params(),
+        },
+        "n_flows": len(flows),
+        "events": sum(len(tl.segments) for tl in got.timelines.values()),
+        "reference_s": round(reference_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "speedup": round(reference_s / optimized_s, 3) if optimized_s else None,
+        "matched": _fluid_results_identical(ref, got),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Structured-topology routing fast path
+# ---------------------------------------------------------------------------
+def bench_routing(
+    pods: int = 4,
+    racks_per_pod: int = 4,
+    hosts_per_rack: int = 64,
+    num_cores: int = 4,
+    nx_sample: int = 400,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Structured tree routing vs networkx shortest-path search.
+
+    The structured router computes paths arithmetically from host
+    coordinates; networkx searches the graph.  The full ordered host mesh
+    is routed through :meth:`path_links_matrix` on the structured side; the
+    networkx side is timed on a deterministic sample of pairs (routing the
+    full mesh through networkx would take minutes) and extrapolated —
+    ``reference_s`` is the extrapolation, ``nx_sample_s`` the measured
+    time.  ``matched`` requires the structured node paths and link rows to
+    equal networkx's exactly on the sampled pairs.
+    """
+    from repro.net.links import directed_link_id
+    from repro.net.topology import (
+        TreeSpec,
+        build_multi_rooted_tree,
+        clear_route_cache,
+        set_structured_routing_enabled,
+    )
+
+    spec = TreeSpec(
+        pods=pods, racks_per_pod=racks_per_pod,
+        hosts_per_rack=hosts_per_rack, num_cores=num_cores,
+    )
+
+    previous = set_structured_routing_enabled(False)
+    try:
+        clear_route_cache()
+        topo_nx = build_multi_rooted_tree(spec)
+        pairs = topo_nx.host_pairs()
+        rng = random.Random(seed)
+        sample_idx = sorted(rng.sample(range(len(pairs)), min(nx_sample, len(pairs))))
+        sample_pairs = [pairs[i] for i in sample_idx]
+        started = time.perf_counter()
+        nx_paths = [topo_nx.node_path(a, b) for a, b in sample_pairs]
+        nx_sample_s = time.perf_counter() - started
+    finally:
+        set_structured_routing_enabled(previous)
+
+    clear_route_cache()
+    topo_structured = build_multi_rooted_tree(spec)
+    started = time.perf_counter()
+    rows, lengths, link_ids = topo_structured.path_links_matrix(pairs)
+    optimized_s = time.perf_counter() - started
+
+    # Exact agreement on the sampled pairs: node paths and link-index rows.
+    index = {lid: i for i, lid in enumerate(link_ids)}
+    matched = True
+    for k, (a, b), nx_path in zip(sample_idx, sample_pairs, nx_paths):
+        if topo_structured.node_path(a, b) != nx_path:
+            matched = False
+            break
+        expected_row = [
+            index[directed_link_id(u, v)]
+            for u, v in zip(nx_path, nx_path[1:])
+        ]
+        if rows[k, : lengths[k]].tolist() != expected_row:
+            matched = False
+            break
+
+    scale_factor = len(pairs) / len(sample_pairs)
+    reference_s = nx_sample_s * scale_factor
+    return {
+        "name": "routing",
+        "params": {
+            "pods": pods, "racks_per_pod": racks_per_pod,
+            "hosts_per_rack": hosts_per_rack, "num_cores": num_cores,
+            "n_hosts": len(topo_nx.hosts()), "nx_sample": len(sample_pairs),
+            "extrapolated_reference": True,
+            **_env_params(),
+        },
+        "n_pairs": len(pairs),
+        "nx_sample_s": round(nx_sample_s, 6),
+        "reference_s": round(reference_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "per_pair_nx_us": round(1e6 * nx_sample_s / len(sample_pairs), 3),
+        "per_pair_structured_us": round(1e6 * optimized_s / len(pairs), 3),
+        "speedup": round(reference_s / optimized_s, 3) if optimized_s else None,
+        "matched": matched,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Greedy placement
 # ---------------------------------------------------------------------------
 def _synthetic_profile(machines: Sequence[str], seed: int) -> NetworkProfile:
@@ -380,6 +615,63 @@ def bench_ilp_scale(
         "pruned_binaries": pruned_stats.get("n_binaries"),
         "warm_start_accepted": pruned_stats.get("warm_start_accepted"),
         "warm_bound_s": pruned_stats.get("warm_bound_s"),
+        "mip_nodes_dense": dense_stats.get("mip_nodes"),
+        "mip_nodes_pruned": pruned_stats.get("mip_nodes"),
+        "matched": _close(dense_objective, pruned_objective, tol=1e-6),
+    }
+
+
+def bench_ilp_pipe(
+    n_tasks: int = 12,
+    n_vms: int = 10,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Pipe-model MILP: dense per-pair products vs sender-aggregated rows.
+
+    The pipe model prices every task pair on its own machine-pair rate, so
+    the dense formulation carries O(pairs x machines^2) product variables.
+    The pruned formulation aggregates them per sender the Glover way —
+    O(tasks x machines^2) continuous variables — and must reach the same
+    optimal completion time.
+    """
+    from repro.core.estimator import estimate_completion_time
+    from repro.core.placement.ilp import OptimalPlacer
+
+    app, cluster, profile = _ilp_bench_instance(n_tasks, n_vms, seed)
+
+    dense = OptimalPlacer(
+        model="pipe", formulation="dense", warm_start=False,
+        symmetry_breaking=False, mip_rel_gap=1e-9, time_limit_s=600.0,
+    )
+    started = time.perf_counter()
+    dense_placement = dense.place(app, cluster, profile)
+    reference_s = time.perf_counter() - started
+
+    pruned = OptimalPlacer(model="pipe", mip_rel_gap=1e-9, time_limit_s=600.0)
+    started = time.perf_counter()
+    pruned_placement = pruned.place(app, cluster, profile)
+    optimized_s = time.perf_counter() - started
+
+    dense_objective = estimate_completion_time(
+        dense_placement.assignments, app, profile, model="pipe"
+    )
+    pruned_objective = estimate_completion_time(
+        pruned_placement.assignments, app, profile, model="pipe"
+    )
+    dense_stats = dense.last_solve_stats or {}
+    pruned_stats = pruned.last_solve_stats or {}
+    return {
+        "name": "ilp_pipe",
+        "params": {"n_tasks": n_tasks, "n_vms": n_vms},
+        "reference_s": round(reference_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "speedup": round(reference_s / optimized_s, 3) if optimized_s else None,
+        "dense_objective_s": dense_objective,
+        "pruned_objective_s": pruned_objective,
+        "dense_vars": dense_stats.get("n_vars"),
+        "dense_rows": dense_stats.get("n_rows"),
+        "pruned_vars": pruned_stats.get("n_vars"),
+        "pruned_rows": pruned_stats.get("n_rows"),
         "mip_nodes_dense": dense_stats.get("mip_nodes"),
         "mip_nodes_pruned": pruned_stats.get("mip_nodes"),
         "matched": _close(dense_objective, pruned_objective, tol=1e-6),
@@ -963,6 +1255,71 @@ def _scale_fluid(n_vms: int, seed: int, until: float = 1.0) -> Dict[str, object]
     }
 
 
+def _scale_fluid_mega(
+    seed: int,
+    pods: int = 10,
+    racks_per_pod: int = 16,
+    hosts_per_rack: int = 64,
+    num_cores: int = 8,
+    until: float = 17.0,
+) -> Dict[str, object]:
+    """Million-flow fluid advance on a 10k-host tree, vector vs scalar loop.
+
+    One pod's hosts form a full ordered mesh (1024 hosts -> 1,047,552
+    flows) of 1/2/4 MB transfers starting together — the most adversarial
+    shape for the allocator (a single million-flow sharing component) and
+    for the event loop (every event re-scans every flow on the scalar
+    path).  The advance is truncated at ``until``, chosen to include the
+    first completion batches; both loops run the *same* truncated window,
+    and ``matched`` asserts their results are bit-identical over it.
+    ``setup_s`` (topology build + flow registration) is reported separately
+    from the timed advance.
+    """
+    from repro.net.fluid import LOOP_SCALAR, LOOP_VECTOR
+    from repro.net.topology import TreeSpec, build_multi_rooted_tree
+
+    spec = TreeSpec(
+        pods=pods, racks_per_pod=racks_per_pod,
+        hosts_per_rack=hosts_per_rack, num_cores=num_cores,
+    )
+    started = time.perf_counter()
+    topo = build_multi_rooted_tree(spec)
+    pod = _numeric_hosts(topo)[: racks_per_pod * hosts_per_rack]
+    sizes = (1 * MBYTE, 2 * MBYTE, 4 * MBYTE)
+    flows = [
+        Flow(flow_id=f"f{i}", src=a, dst=b, size_bytes=sizes[i % 3], start_time=0.0)
+        for i, (a, b) in enumerate(itertools.permutations(pod, 2))
+    ]
+    build_s = time.perf_counter() - started
+
+    def run(loop: str):
+        sim = FluidSimulation(topo, loop=loop)
+        setup_started = time.perf_counter()
+        sim.add_flows(flows)
+        setup = time.perf_counter() - setup_started
+        run_started = time.perf_counter()
+        result = sim.run(until=until)
+        return time.perf_counter() - run_started, setup, result
+
+    vector_s, vector_setup_s, got = run(LOOP_VECTOR)
+    scalar_s, scalar_setup_s, ref = run(LOOP_SCALAR)
+    completed = sum(
+        1 for state in got.states.values() if state.name == "COMPLETED"
+    )
+    return {
+        "n_hosts": len(topo.hosts()),
+        "n_flows": len(flows),
+        "until_s": until,
+        "completed": completed,
+        "build_s": round(build_s, 6),
+        "setup_s": round(vector_setup_s + scalar_setup_s, 6),
+        "scalar_s": round(scalar_s, 6),
+        "vector_s": round(vector_s, 6),
+        "speedup": round(scalar_s / vector_s, 3) if vector_s else None,
+        "matched": _fluid_results_identical(ref, got),
+    }
+
+
 def _scale_equivalence_control(seed: int, n_vms: int = 16) -> Dict[str, object]:
     """Flat vs singleton-clustered hierarchical greedy must coincide exactly."""
     machines, profile = _rack_profile(n_vms, seed)
@@ -986,6 +1343,7 @@ def _scale_equivalence_control(seed: int, n_vms: int = 16) -> Dict[str, object]:
 def bench_scale(
     sizes: Sequence[int] = (256, 1024, 4096),
     seed: int = 0,
+    mega: bool = True,
 ) -> Dict[str, object]:
     """Datacenter-scale sweep: allocator, greedy, and one fluid advance.
 
@@ -997,6 +1355,11 @@ def bench_scale(
     components are recorded per entry rather than silently skipped.  The
     headline ``speedup`` is vector-vs-reference at the largest size where
     the reference ran.
+
+    With ``mega`` (the default; disabled under ``--quick``) the sweep adds
+    the million-flow fluid advance on a 10k-host tree — see
+    :func:`_scale_fluid_mega` — recorded under ``"mega"`` with its own
+    vector-vs-scalar speedup floor.
     """
     reference_cap = 1024
     per_size: Dict[str, Dict[str, object]] = {}
@@ -1027,11 +1390,22 @@ def bench_scale(
     control = _scale_equivalence_control(seed)
     checks.append(bool(control["matched"]))
 
+    mega_entry: Optional[Dict[str, object]] = None
+    if mega:
+        mega_entry = _scale_fluid_mega(seed)
+        checks.append(bool(mega_entry["matched"]))
+
     reference_s, optimized_s = headline if headline else (None, None)
     return {
         "name": "scale",
-        "params": {"sizes": list(sizes), "rack_size": _SCALE_RACK_SIZE},
+        "params": {
+            "sizes": list(sizes),
+            "rack_size": _SCALE_RACK_SIZE,
+            "mega": mega,
+            **_env_params(),
+        },
         "per_size": per_size,
+        "mega": mega_entry,
         "equivalence_control": control,
         "reference_s": reference_s,
         "optimized_s": optimized_s,
@@ -1052,9 +1426,12 @@ _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
     "fluid": bench_fluid,
     "greedy": bench_greedy,
     "ilp_scale": bench_ilp_scale,
+    "ilp_pipe": bench_ilp_pipe,
     "mesh": bench_mesh,
     "e2e": bench_e2e_experiments,
     "scale": bench_scale,
+    "fluid_loop": bench_fluid_loop,
+    "routing": bench_routing,
     "sweep_resume": bench_sweep_resume,
     "service_churn": bench_service_churn,
     "faults": bench_faults,
@@ -1065,9 +1442,18 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "fluid": {"n_pairs": 8, "n_flows": 60},
     "greedy": {"n_machines": 8, "n_workers": 7, "repeats": 2},
     "ilp_scale": {"n_tasks": 8, "n_vms": 6},
+    "ilp_pipe": {"n_tasks": 8, "n_vms": 6},
     "mesh": {"n_vms": 6},
     "e2e": {"quick": True},
-    "scale": {"sizes": (256,)},
+    "scale": {"sizes": (256,), "mega": False},
+    "fluid_loop": {
+        "pods": 2, "racks_per_pod": 2, "hosts_per_rack": 8,
+        "num_cores": 2, "p_flow": 0.5,
+    },
+    "routing": {
+        "pods": 2, "racks_per_pod": 2, "hosts_per_rack": 8,
+        "num_cores": 2, "nx_sample": 64,
+    },
     "sweep_resume": {"quick": True},
     "service_churn": {"quick": True},
     "faults": {"quick": True},
@@ -1082,16 +1468,27 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
 #: suite does not pay for (or duplicate) them.
 DEFAULT_SUITE: Tuple[str, ...] = (
     "allocator", "fluid", "greedy", "mesh", "e2e", "scale",
+    "fluid_loop", "routing",
 )
 
-#: Speedup floors per bench: (targets key, minimum), applied when the bench ran.
-_TARGET_FLOORS: Dict[str, Tuple[str, float]] = {
-    "allocator": ("allocator_speedup", TARGET_ALLOCATOR_SPEEDUP),
-    "e2e": ("e2e_speedup", TARGET_E2E_SPEEDUP),
-    "ilp_scale": ("ilp_speedup", TARGET_ILP_SPEEDUP),
-    "scale": ("scale_allocator_speedup", TARGET_SCALE_SPEEDUP),
-    "sweep_resume": ("resume_speedup", TARGET_RESUME_SPEEDUP),
-}
+#: Speedup floors: ``(bench, targets key, minimum, path)`` where ``path``
+#: navigates from the bench's result dict to the tracked speedup (so nested
+#: entries like the scale sweep's ``mega`` advance get their own floor).
+#: A floor applies whenever its bench ran and the path resolves; quick runs
+#: are exempt (their shrunken workloads are correctness smoke, not perf).
+_TARGET_FLOORS: Tuple[Tuple[str, str, float, Tuple[str, ...]], ...] = (
+    ("allocator", "allocator_speedup", TARGET_ALLOCATOR_SPEEDUP, ("speedup",)),
+    ("e2e", "e2e_speedup", TARGET_E2E_SPEEDUP, ("speedup",)),
+    ("ilp_scale", "ilp_speedup", TARGET_ILP_SPEEDUP, ("speedup",)),
+    ("ilp_pipe", "ilp_pipe_speedup", TARGET_ILP_PIPE_SPEEDUP, ("speedup",)),
+    ("scale", "scale_allocator_speedup", TARGET_SCALE_SPEEDUP, ("speedup",)),
+    ("scale", "mega_fluid_speedup", TARGET_MEGA_FLUID_SPEEDUP,
+     ("mega", "speedup")),
+    ("fluid_loop", "fluid_loop_speedup", TARGET_FLUID_LOOP_SPEEDUP,
+     ("speedup",)),
+    ("routing", "routing_speedup", TARGET_ROUTING_SPEEDUP, ("speedup",)),
+    ("sweep_resume", "resume_speedup", TARGET_RESUME_SPEEDUP, ("speedup",)),
+)
 
 
 def bench_names() -> List[str]:
@@ -1116,23 +1513,31 @@ def run_benchmarks(
         kwargs["seed"] = seed
         results[name] = _BENCHES[name](**kwargs)
 
-    def speedup_of(name: str) -> Optional[float]:
-        entry = results.get(name)
-        return entry.get("speedup") if entry else None  # type: ignore[union-attr]
+    def resolve(name: str, path: Tuple[str, ...]) -> Optional[float]:
+        node: object = results.get(name)
+        for key in path:
+            if not isinstance(node, dict):
+                return None
+            node = node.get(key)
+        return node if isinstance(node, (int, float)) else None
 
     targets: Dict[str, object] = {}
     floor_checks: List[bool] = []
-    for bench, (key, floor) in _TARGET_FLOORS.items():
+    for bench, key, floor, path in _TARGET_FLOORS:
         if bench not in results:
             continue
+        speedup = resolve(bench, path)
+        if speedup is None:
+            continue
         targets[key + "_min"] = floor
-        targets[key] = speedup_of(bench)
-        floor_checks.append((speedup_of(bench) or 0) >= floor)
-    targets["met"] = bool((quick or only) or all(floor_checks))
+        targets[key] = speedup
+        floor_checks.append(speedup >= floor)
+    targets["met"] = bool(quick or all(floor_checks))
     return {
         "schema": "repro.bench/v1",
         "quick": quick,
         "seed": seed,
+        "params": _env_params(),
         "benches": results,
         "targets": targets,
         "all_matched": all(entry["matched"] for entry in results.values()),

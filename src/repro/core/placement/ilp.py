@@ -502,17 +502,23 @@ class OptimalPlacer(Placer):
         # the peer sits, only on whether it is colocated — so one variable
         # ``w >= x_ia - x_ja`` per (pair, machine) replaces the M-wide
         # ``z_imjn`` slab, with a tight two-term linearisation.  The pipe
-        # model genuinely needs per-machine-pair products and keeps the
-        # single-row relaxation ``z >= x_ia + x_jb - 1``.
+        # model's per-pair products are collapsed the Glover way: one
+        # continuous ``g_{s,a,b}`` per (sender task, machine pair) carries
+        # the bytes task ``s`` sends over link ``(a, b)``, bounded below by
+        # ``sum_t vol(s->t) * x_tb - V * (1 - x_sa)`` — exact at integral
+        # assignments, O(T*M^2) columns instead of O(P*M^2).
         n_aux = 0
+        aux_upper: List[float] = []
         lin_rows: List[Tuple[List[int], List[float], float]] = []
+        agg_rows: List[Tuple[List[int], List[float], float]] = []
         bneck: Dict[Tuple, List[Tuple[int, float]]] = {}
 
         def bneck_add(key: Tuple, col: int, coef: float) -> None:
             bneck.setdefault(key, []).append((col, coef))
 
-        def new_aux() -> int:
+        def new_aux(ub: float = 1.0) -> int:
             nonlocal n_aux
+            aux_upper.append(ub)
             n_aux += 1
             return n_x + n_aux - 1
 
@@ -541,34 +547,8 @@ class OptimalPlacer(Placer):
                             )
                         )
                         bneck_add((0, a), col, coef)
-            else:
-                for a in candidates[i]:
-                    for b in candidates[j]:
-                        if a == b:
-                            continue  # handled by the intra block below
-                        terms = []
-                        rate_ab = profile.rate(machines[a], machines[b])
-                        rate_ba = profile.rate(machines[b], machines[a])
-                        if fwd > 0 and not math.isinf(rate_ab):
-                            terms.append(
-                                ((1, a, b), fwd * BITS_PER_BYTE / rate_ab)
-                            )
-                        if rev > 0 and not math.isinf(rate_ba):
-                            terms.append(
-                                ((1, b, a), rev * BITS_PER_BYTE / rate_ba)
-                            )
-                        if not terms:
-                            continue  # all rates infinite: the product never costs
-                        col = new_aux()
-                        lin_rows.append(
-                            (
-                                [x_col[(i, a)], x_col[(j, b)], col],
-                                [1.0, 1.0, -1.0],
-                                1.0,  # x_ia + x_jb - z <= 1
-                            )
-                        )
-                        for key, coef in terms:
-                            bneck_add(key, col, coef)
+            # (Pipe-model inter-machine terms are aggregated per sender
+            # below, outside this per-pair loop.)
 
             # Colocation term, shared by both models (finite intra rate only).
             if not math.isinf(intra):
@@ -584,6 +564,51 @@ class OptimalPlacer(Placer):
                         )
                     )
                     bneck_add((2, a), col, (fwd + rev) * BITS_PER_BYTE / intra)
+
+        if self.model == "pipe":
+            # Per-sender directed volumes (both orientations of each pair).
+            out_vol: List[Dict[int, float]] = [dict() for _ in range(n_tasks)]
+            for i, j in pairs:
+                fwd, rev = volumes[(i, j)]
+                if fwd > 0:
+                    out_vol[i][j] = out_vol[i].get(j, 0.0) + fwd
+                if rev > 0:
+                    out_vol[j][i] = out_vol[j].get(i, 0.0) + rev
+            cand_sets = [set(c) for c in candidates]
+            for s in range(n_tasks):
+                if not out_vol[s]:
+                    continue
+                recv = sorted(out_vol[s].items())
+                for a in candidates[s]:
+                    for b in range(len(machines)):
+                        if b == a:
+                            continue  # colocated peers use the intra block
+                        rate_ab = profile.rate(machines[a], machines[b])
+                        if math.isinf(rate_ab):
+                            continue
+                        # g carries *seconds* of transfer on (a, b), not
+                        # bytes: volumes ~1e9 against bottleneck coefs
+                        # ~1e-8 span a range HiGHS mis-solves.
+                        coef_ab = BITS_PER_BYTE / rate_ab
+                        terms = [
+                            (t, v * coef_ab) for t, v in recv
+                            if b in cand_sets[t]
+                        ]
+                        if not terms:
+                            continue
+                        big_m = sum(v for _, v in terms)
+                        col = new_aux(ub=big_m)
+                        # g >= sum_t sec(s->t) * x_tb - big_m * (1 - x_sa),
+                        # i.e. sum_t sec * x_tb + big_m * x_sa - g <= big_m.
+                        agg_rows.append(
+                            (
+                                [x_col[(t, b)] for t, _ in terms]
+                                + [x_col[(s, a)], col],
+                                [v for _, v in terms] + [big_m, -1.0],
+                                big_m,
+                            )
+                        )
+                        bneck_add((1, a, b), col, 1.0)
 
         t_col = n_x + n_aux
         n_vars = t_col + 1
@@ -630,6 +655,10 @@ class OptimalPlacer(Placer):
             row_lbs.extend([-np.inf] * len(lin_rows))
             row_ubs.extend([ub for _, _, ub in lin_rows])
 
+        # Sender-aggregation rows (pipe model), variable width.
+        for cols, coefs, ub in agg_rows:
+            add_row(cols, coefs, -np.inf, ub)
+
         # Bottleneck rows: sum(coef * z) - T <= 0, deterministic order.
         for key in sorted(bneck):
             entries = bneck[key]
@@ -661,6 +690,8 @@ class OptimalPlacer(Placer):
         integrality = np.zeros(n_vars)
         integrality[:n_x] = 1.0
         upper = np.ones(n_vars)
+        if aux_upper:
+            upper[n_x:t_col] = aux_upper
         upper[t_col] = self._warm_upper(warm_bound)
 
         stats.update(

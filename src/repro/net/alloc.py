@@ -33,11 +33,26 @@ indexed by the interned link slots, each flow's path is a cached int
 index array (the rows of a CSR-style flow×link incidence), and the
 per-round bottleneck search becomes one masked divide plus ``argmin``.
 Because ``argmin`` breaks ties on the lowest index — exactly the
-``(value, index)`` order of the scalar path's heaps — and the per-flow
-freeze step performs the same subtract-then-clamp in the same dtype, the
-vector path is bit-identical to the scalar path (and hence to the
-reference, with the caveat above).  Paths that repeat a link fall back
-to the scalar solver, which handles them exactly.
+``(value, index)`` order of the scalar path's heaps — and the freeze
+step performs the same subtract-then-clamp in the same dtype and
+per-link order, the vector path is bit-identical to the scalar path
+(and hence to the reference, with the caveat above).  Paths that repeat
+a link fall back to the scalar solver, which handles them exactly.
+
+Two further mechanisms keep event-loop re-solves cheap at scale:
+
+* **Slot-rate output** — solves write per-slot rates into a flat float64
+  vector; :meth:`solve_slots` hands that vector to array-based callers
+  (the vectorised fluid loop) with no per-flow dict in sight, while
+  :meth:`solve` builds the string-keyed mapping lazily on demand.
+* **Partial re-solves** — progressive filling decomposes over connected
+  components of the flow↔link sharing graph: a flow's rate depends only
+  on flows it (transitively) shares links with.  After an edit, solve
+  walks that graph outward from the edited links; when the affected
+  closure is a minority of the flow set, only the closure is re-solved
+  and every other slot keeps its previous (bit-identical) rate.  A
+  retirement in one rack of a tree topology therefore re-solves one
+  rack, not the datacenter.
 """
 
 from __future__ import annotations
@@ -134,22 +149,46 @@ class IncrementalAllocator:
         self._slot_name: List[str] = []
         self._slot_links: List[Tuple[int, ...]] = []  # with duplicates, if any
         self._slot_unique_links: List[Tuple[int, ...]] = []
-        # Per-slot int index arrays (the CSR rows of the flow×link
-        # incidence), materialised lazily by the vector solve and reused
-        # across solves; a slot's row is dropped when the slot is freed.
-        self._slot_links_np: List[Optional[np.ndarray]] = []
+        # Flat CSR buffer of every slot's link row: slot ``s`` occupies
+        # ``_row_data[_row_start[s] : _row_start[s] + _slot_nlinks[s]]``.
+        # Rows are append-only; removing a flow orphans its segment, and the
+        # buffer is compacted (vectorised) when orphans dominate.  This lets
+        # the vector solve gather a whole freeze batch's links with one
+        # fancy index instead of a per-slot Python loop.
+        self._row_data = np.zeros(0, dtype=np.intp)
+        self._row_start = np.zeros(0, dtype=np.int64)
+        self._row_used = 0  # high-water mark of _row_data
+        self._row_live = 0  # entries belonging to registered flows
         self._slot_cap: List[Optional[float]] = []
         self._free_slots: List[int] = []
         # Per-link membership (flow slots currently crossing the link) and a
         # refcount of links in use, so solves touch only occupied links.
         self._members: List[Set[int]] = [set() for _ in self._link_ids]
         self._link_use: Dict[int, int] = {}
+        # Per-link member arrays for the vector solve, invalidated whenever
+        # the link's membership changes.
+        self._members_np: Dict[int, np.ndarray] = {}
+        # Slots of live capped flows, slots of live linkless flows, and each
+        # slot's path length, so the vector solve can build its working sets
+        # without a Python sweep over every registered flow.
+        self._capped: Set[int] = set()
+        self._linkless: Set[int] = set()
+        self._slot_nlinks = np.zeros(0, dtype=np.int64)
         # Flows whose path repeats a link break the share-heap monotonicity
         # (freezing subtracts the level once per occurrence, so a share can
         # shrink); while any such flow is registered, solve() selects
         # bottlenecks by linear scan instead.
         self._dup_link_flows = 0
+        # Per-slot solved rates; solve() derives its dict from this lazily.
+        self._slot_rate = np.zeros(0, dtype=np.float64)
+        self._solved = False
         self._solution: Optional[Dict[str, float]] = None
+        # True once any solve has populated _slot_rate: from then on edits
+        # are tracked so the next solve can be partial.
+        self._have_rates = False
+        self._dirty_links: Set[int] = set()
+        self._dirty_linkless: Set[int] = set()
+        self._stats = {"full_solves": 0, "partial_solves": 0, "partial_slots": 0}
 
     # ----------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -168,8 +207,11 @@ class IncrementalAllocator:
         flow_id: str,
         links: Sequence[str],
         max_rate: Optional[float] = None,
-    ) -> None:
+    ) -> int:
         """Register a flow crossing ``links`` with an optional rate cap.
+
+        Returns the flow's slot index — an index into the vector
+        :meth:`solve_slots` returns, valid until the flow is removed.
 
         Raises:
             SimulationError: on duplicate flow ids or unknown links.
@@ -198,26 +240,59 @@ class IncrementalAllocator:
             self._slot_name[slot] = flow_id
             self._slot_links[slot] = link_tuple
             self._slot_unique_links[slot] = unique
-            self._slot_links_np[slot] = None
             self._slot_cap[slot] = max_rate
         else:
             slot = len(self._slot_name)
             self._slot_name.append(flow_id)
             self._slot_links.append(link_tuple)
             self._slot_unique_links.append(unique)
-            self._slot_links_np.append(None)
             self._slot_cap.append(max_rate)
+            if slot >= self._slot_rate.shape[0]:
+                size = max(16, 2 * self._slot_rate.shape[0], slot + 1)
+                grown = np.zeros(size, dtype=np.float64)
+                grown[: self._slot_rate.shape[0]] = self._slot_rate
+                self._slot_rate = grown
+                grown_n = np.zeros(size, dtype=np.int64)
+                grown_n[: self._slot_nlinks.shape[0]] = self._slot_nlinks
+                self._slot_nlinks = grown_n
+                grown_s = np.zeros(size, dtype=np.int64)
+                grown_s[: self._row_start.shape[0]] = self._row_start
+                self._row_start = grown_s
+        # Write the row before registering the flow: a compaction triggered
+        # by the capacity check must only see fully-recorded rows.
+        n_row = len(link_tuple)
+        if n_row:
+            self._ensure_row_capacity(n_row)
+            self._row_data[self._row_used : self._row_used + n_row] = indexed
+            self._row_start[slot] = self._row_used
+            self._row_used += n_row
+            self._row_live += n_row
+        else:
+            self._row_start[slot] = self._row_used
+        self._slot_nlinks[slot] = n_row
         self._flow_slot[flow_id] = slot
+        if max_rate is not None:
+            self._capped.add(slot)
+        if not n_row:
+            self._linkless.add(slot)
         if unique is not link_tuple:
             self._dup_link_flows += 1
         for index in unique:
             self._members[index].add(slot)
             self._link_use[index] = self._link_use.get(index, 0) + 1
+            self._members_np.pop(index, None)
+        if self._have_rates:
+            if unique:
+                self._dirty_links.update(unique)
+            else:
+                self._dirty_linkless.add(slot)
+        self._solved = False
         self._solution = None
+        return slot
 
-    def add_demand(self, flow_id: str, demand: FlowDemand) -> None:
+    def add_demand(self, flow_id: str, demand: FlowDemand) -> int:
         """Register a flow from a :class:`~repro.net.fairness.FlowDemand`."""
-        self.add_flow(flow_id, demand.links, demand.max_rate)
+        return self.add_flow(flow_id, demand.links, demand.max_rate)
 
     def remove_flow(self, flow_id: str) -> None:
         """Forget a flow previously registered with :meth:`add_flow`."""
@@ -228,17 +303,25 @@ class IncrementalAllocator:
             self._dup_link_flows -= 1
         for index in self._slot_unique_links[slot]:
             self._members[index].discard(slot)
+            self._members_np.pop(index, None)
             left = self._link_use[index] - 1
             if left:
                 self._link_use[index] = left
             else:
                 del self._link_use[index]
+        if self._have_rates:
+            self._dirty_links.update(self._slot_unique_links[slot])
+            self._dirty_linkless.discard(slot)
         self._slot_name[slot] = ""
         self._slot_links[slot] = ()
         self._slot_unique_links[slot] = ()
-        self._slot_links_np[slot] = None
         self._slot_cap[slot] = None
+        self._row_live -= int(self._slot_nlinks[slot])
+        self._slot_nlinks[slot] = 0
+        self._capped.discard(slot)
+        self._linkless.discard(slot)
         self._free_slots.append(slot)
+        self._solved = False
         self._solution = None
 
     def clear(self) -> None:
@@ -247,14 +330,26 @@ class IncrementalAllocator:
         self._slot_name.clear()
         self._slot_links.clear()
         self._slot_unique_links.clear()
-        self._slot_links_np.clear()
         self._slot_cap.clear()
+        self._row_data = np.zeros(0, dtype=np.intp)
+        self._row_start = np.zeros(0, dtype=np.int64)
+        self._row_used = 0
+        self._row_live = 0
         self._free_slots.clear()
         for members in self._members:
             members.clear()
         self._link_use.clear()
+        self._members_np.clear()
+        self._capped.clear()
+        self._linkless.clear()
+        self._slot_nlinks = np.zeros(0, dtype=np.int64)
         self._dup_link_flows = 0
+        self._slot_rate = np.zeros(0, dtype=np.float64)
+        self._solved = False
         self._solution = None
+        self._have_rates = False
+        self._dirty_links.clear()
+        self._dirty_linkless.clear()
 
     # --------------------------------------------------------------- solve
     @property
@@ -286,29 +381,131 @@ class IncrementalAllocator:
         array-backed paths produce bit-identical mappings, so which one ran
         is unobservable from the result.
         """
-        if self._solution is not None:
-            return self._solution
-        if self.uses_vector_path():
-            self._solution = self._solve_vector()
-        else:
-            self._solution = self._solve_scalar()
+        self._ensure_solved()
+        if self._solution is None:
+            n = len(self._flow_slot)
+            slots = np.fromiter(self._flow_slot.values(), dtype=np.intp, count=n)
+            self._solution = dict(
+                zip(self._flow_slot.keys(), self._slot_rate[slots].tolist())
+            )
         return self._solution
 
-    def _solve_scalar(self) -> Dict[str, float]:
-        """Heap-based progressive filling over interned int slots."""
-        rates: Dict[str, float] = {}
+    def solve_slots(self) -> np.ndarray:
+        """Solve and return the per-slot rate vector (no dict is built).
+
+        ``result[slot]`` is the rate of the flow whose :meth:`add_flow`
+        returned ``slot``.  The array is owned by the allocator: treat it as
+        read-only, and re-fetch (or copy what you need) after any edit.
+        Entries for freed slots are stale.
+        """
+        self._ensure_solved()
+        return self._slot_rate
+
+    def solver_stats(self) -> Dict[str, int]:
+        """Counters: full solves, partial solves, slots re-solved partially."""
+        return dict(self._stats)
+
+    def _ensure_solved(self) -> None:
+        """Run a (possibly partial) solve so ``_slot_rate`` is current."""
+        if self._solved:
+            return
+        # Partial re-solve: progressive filling decomposes over connected
+        # components of the flow↔link sharing graph, so flows outside the
+        # transitive closure of the edited links keep their previous rates
+        # bit-for-bit.  Duplicate-link paths void the closure's heap-order
+        # determinism, so they always take the full solve.
+        partial = None
+        if self._have_rates and not self._dup_link_flows:
+            partial = self._dirty_closure()
+        if partial is not None:
+            for slot in self._dirty_linkless:
+                cap = self._slot_cap[slot]
+                self._slot_rate[slot] = math.inf if cap is None else cap
+            if partial:
+                self._solve_scalar(restrict=partial)
+            self._stats["partial_solves"] += 1
+            self._stats["partial_slots"] += len(partial)
+        else:
+            if self.uses_vector_path():
+                self._solve_vector()
+            else:
+                self._solve_scalar()
+            self._stats["full_solves"] += 1
+        self._dirty_links.clear()
+        self._dirty_linkless.clear()
+        self._solved = True
+        self._have_rates = True
+
+    def _dirty_closure(self) -> Optional[Set[int]]:
+        """Flow slots transitively sharing links with the edited links.
+
+        Returns None when the closure exceeds half the flow set — a partial
+        re-solve would not pay for its bookkeeping — otherwise the set of
+        affected slots (possibly empty).  The limit is additionally capped
+        at 8192 slots: beyond that the restricted scalar solve loses to the
+        array-backed full solve, and the abort itself must stay cheap (the
+        walk is O(limit), so a giant single-component instance must not
+        spend a half-scan discovering it cannot be partial).
+        """
+        if not self._dirty_links:
+            return set()
+        limit = max(64, min(len(self._flow_slot) // 2, 8192))
+        members = self._members
+        # First-hop bound: if any edited link alone carries more members
+        # than the limit, the closure cannot fit — skip the walk entirely
+        # (dense components hit this on every event).
+        for link in self._dirty_links:
+            if len(members[link]) > limit:
+                return None
+        slot_unique = self._slot_unique_links
+        seen_links: Set[int] = set()
+        seen_slots: Set[int] = set()
+        stack = list(self._dirty_links)
+        while stack:
+            link = stack.pop()
+            if link in seen_links:
+                continue
+            seen_links.add(link)
+            for slot in members[link]:
+                if slot in seen_slots:
+                    continue
+                seen_slots.add(slot)
+                if len(seen_slots) > limit:
+                    return None
+                for other in slot_unique[slot]:
+                    if other not in seen_links:
+                        stack.append(other)
+        return seen_slots
+
+    def _solve_scalar(self, restrict: Optional[Set[int]] = None) -> None:
+        """Heap-based progressive filling over interned int slots.
+
+        With ``restrict``, only those slots (a transitively closed set: no
+        member shares a link with a slot outside it) are re-solved; their
+        links' counts are rebuilt from the restricted membership, which by
+        closedness equals the global counts on those links.
+        """
+        slot_rate = self._slot_rate
         unfrozen: List[int] = []
-        for flow_id, slot in self._flow_slot.items():
+        for slot in (
+            self._flow_slot.values() if restrict is None else restrict
+        ):
             if self._slot_links[slot]:
                 unfrozen.append(slot)
             else:
                 # Flows that traverse no links are only limited by their cap.
                 cap = self._slot_cap[slot]
-                rates[flow_id] = math.inf if cap is None else cap
+                slot_rate[slot] = math.inf if cap is None else cap
 
-        # Working copies for only the links currently in use.
-        counts: Dict[int, int] = dict(self._link_use)
+        # Working copies for only the links currently in play.
         capacity = self._capacity
+        if restrict is None:
+            counts: Dict[int, int] = dict(self._link_use)
+        else:
+            counts = {}
+            for slot in unfrozen:
+                for index in self._slot_unique_links[slot]:
+                    counts[index] = counts.get(index, 0) + 1
         remaining: Dict[int, float] = {
             index: capacity[index] for index in counts
         }
@@ -335,7 +532,6 @@ class IncrementalAllocator:
             ]
             heapq.heapify(share_heap)
 
-        slot_name = self._slot_name
         slot_links = self._slot_links
         slot_unique = self._slot_unique_links
         n_left = len(unfrozen)
@@ -388,53 +584,87 @@ class IncrementalAllocator:
                 # Unfrozen flows remain but nothing constrains them.
                 for slot in unfrozen:
                     if not frozen[slot]:
-                        rates[slot_name[slot]] = math.inf
+                        slot_rate[slot] = math.inf
                 break
 
+            # Count the round's occurrences per link, then drain each link
+            # once with the fused ``remaining - k*level`` (clamped at zero).
+            # The level is constant within a round, so this is the same
+            # allocation the per-occurrence drain produced, and it is the
+            # form the array-backed solve computes — keeping the two paths
+            # bit-identical costs one multiply per touched link.
+            drains: Dict[int, int] = {}
             for slot in to_freeze:
                 frozen[slot] = 1
                 n_left -= 1
-                rates[slot_name[slot]] = level
+                slot_rate[slot] = level
                 for index in slot_links[slot]:
-                    left = remaining[index] - level
-                    remaining[index] = left if left > 0.0 else 0.0
+                    drains[index] = drains.get(index, 0) + 1
                 for index in slot_unique[slot]:
                     counts[index] -= 1
+            for index, k in drains.items():
+                left = remaining[index] - k * level
+                remaining[index] = left if left > 0.0 else 0.0
 
-        return rates
+    def _ensure_row_capacity(self, n: int) -> None:
+        """Make room for ``n`` more entries at the end of ``_row_data``."""
+        if self._row_used + n <= self._row_data.shape[0]:
+            return
+        if self._row_live + n <= self._row_data.shape[0] // 2:
+            # Orphaned rows (from removed flows) dominate the buffer:
+            # compacting frees more than doubling would add.
+            self._compact_rows()
+            return
+        size = max(64, 2 * self._row_data.shape[0], self._row_used + n)
+        grown = np.zeros(size, dtype=np.intp)
+        grown[: self._row_used] = self._row_data[: self._row_used]
+        self._row_data = grown
+
+    def _compact_rows(self) -> None:
+        """Repack live rows to the front of ``_row_data`` (vectorised)."""
+        n_reg = len(self._flow_slot)
+        if not n_reg:
+            self._row_used = 0
+            return
+        slots = np.fromiter(self._flow_slot.values(), dtype=np.intp, count=n_reg)
+        lens = self._slot_nlinks[slots]
+        ends = np.cumsum(lens)
+        offs = ends - lens
+        total = int(ends[-1])
+        gather = np.repeat(self._row_start[slots] - offs, lens)
+        gather += np.arange(total)
+        self._row_data[:total] = self._row_data[gather]
+        self._row_start[slots] = offs
+        self._row_used = total
 
     def _slot_row(self, slot: int) -> np.ndarray:
-        """The slot's link index array (a CSR incidence row), cached."""
-        row = self._slot_links_np[slot]
-        if row is None:
-            links = self._slot_links[slot]
-            row = np.fromiter(links, dtype=np.intp, count=len(links))
-            self._slot_links_np[slot] = row
-        return row
+        """The slot's link index row (a view into the flat CSR buffer)."""
+        start = self._row_start[slot]
+        return self._row_data[start : start + self._slot_nlinks[slot]]
 
-    def _solve_vector(self) -> Dict[str, float]:
+    def _solve_vector(self) -> None:
         """Array-backed water-filling over link capacity vectors.
 
         Per round: one masked divide + ``argmin`` finds the bottleneck link
         (ties break on the lowest link index, matching the scalar heaps'
-        ``(share, index)`` order); freezing a flow subtracts the level from
-        ``remaining`` and decrements ``counts`` through the flow's cached
-        index row.  Flow caps keep the scalar path's lazy heap — caps are
-        per-flow, so there is nothing to vectorise across links.  Only
-        called when no registered path repeats a link.
+        ``(share, index)`` order); the freeze batch's link rows are gathered
+        from the flat CSR buffer with one fancy index, histogrammed with
+        ``bincount``, and every link drained by the fused
+        ``remaining - k*level`` clamp — the identical expression the scalar
+        path evaluates per touched link, so the two paths stay bit-identical
+        without replaying per-occurrence subtracts.  Flow caps keep the
+        scalar path's lazy heap — caps are per-flow, so there is nothing to
+        vectorise across links.  Only called when no registered path repeats
+        a link.
         """
         if self._capacity_np is None:
             self._capacity_np = np.asarray(self._capacity, dtype=np.float64)
 
-        rates: Dict[str, float] = {}
-        unfrozen: List[int] = []
-        for flow_id, slot in self._flow_slot.items():
-            if self._slot_links[slot]:
-                unfrozen.append(slot)
-            else:
-                # Flows that traverse no links are only limited by their cap.
-                cap = self._slot_cap[slot]
-                rates[flow_id] = math.inf if cap is None else cap
+        slot_rate = self._slot_rate
+        for slot in self._linkless:
+            # Flows that traverse no links are only limited by their cap.
+            cap = self._slot_cap[slot]
+            slot_rate[slot] = math.inf if cap is None else cap
 
         n_links = len(self._capacity)
         counts = np.zeros(n_links, dtype=np.int64)
@@ -450,17 +680,16 @@ class IncrementalAllocator:
         shares = np.empty(n_links, dtype=np.float64)
         active = np.empty(n_links, dtype=bool)
 
-        frozen = bytearray(len(self._slot_name))
+        frozen = np.zeros(len(self._slot_name), dtype=bool)
         cap_heap: List[Tuple[float, int]] = [
             (self._slot_cap[slot], slot)
-            for slot in unfrozen
-            if self._slot_cap[slot] is not None
+            for slot in self._capped
+            if self._slot_links[slot]
         ]
         heapq.heapify(cap_heap)
 
-        slot_name = self._slot_name
         inf = math.inf
-        n_left = len(unfrozen)
+        n_left = len(self._flow_slot) - len(self._linkless)
         while n_left:
             # Bottleneck search: equal share of every link still carrying
             # unfrozen flows, in one vector divide; links with no unfrozen
@@ -474,32 +703,54 @@ class IncrementalAllocator:
             while cap_heap and frozen[cap_heap[0][1]]:
                 heapq.heappop(cap_heap)
 
+            batch: Optional[np.ndarray] = None
             if cap_heap and cap_heap[0][0] <= bottleneck_share:
                 # A flow hits its own cap before any link saturates.
                 level, capped_slot = heapq.heappop(cap_heap)
-                to_freeze = [capped_slot]
+                n_batch = 1
             elif bottleneck_share < inf:
                 level = bottleneck_share
-                to_freeze = [
-                    slot
-                    for slot in self._members[bottleneck_link]
-                    if not frozen[slot]
-                ]
+                mem = self._members_np.get(bottleneck_link)
+                if mem is None:
+                    ms = self._members[bottleneck_link]
+                    mem = np.fromiter(ms, dtype=np.intp, count=len(ms))
+                    self._members_np[bottleneck_link] = mem
+                batch = mem[~frozen[mem]]
+                n_batch = int(batch.shape[0])
             else:
-                # Unfrozen flows remain but nothing constrains them.
-                for slot in unfrozen:
-                    if not frozen[slot]:
-                        rates[slot_name[slot]] = inf
+                # Unfrozen flows remain but nothing constrains them (rare:
+                # every remaining link has infinite headroom), so a Python
+                # sweep over the registry is fine here.
+                nlinks = self._slot_nlinks
+                for slot in self._flow_slot.values():
+                    if nlinks[slot] and not frozen[slot]:
+                        slot_rate[slot] = inf
                 break
 
-            for slot in to_freeze:
-                frozen[slot] = 1
-                n_left -= 1
-                rates[slot_name[slot]] = level
+            n_left -= n_batch
+            if n_batch == 1:
+                slot = capped_slot if batch is None else int(batch[0])
+                frozen[slot] = True
+                slot_rate[slot] = level
                 row = self._slot_row(slot)
                 segment = remaining[row] - level
                 np.maximum(segment, 0.0, out=segment)
                 remaining[row] = segment
                 counts[row] -= 1
-
-        return rates
+                continue
+            frozen[batch] = True
+            slot_rate[batch] = level
+            # Gather the batch's link rows from the flat CSR buffer in one
+            # fancy index (no per-slot Python loop), histogram them, and
+            # drain every touched link with the fused ``remaining -
+            # k*level`` clamp the scalar path computes.  Untouched links see
+            # ``remaining - 0*level``, which is exact, so the drain runs
+            # unmasked over the full link vector.
+            lens = self._slot_nlinks[batch]
+            ends = np.cumsum(lens)
+            gather = np.repeat(self._row_start[batch] - (ends - lens), lens)
+            gather += np.arange(int(ends[-1]))
+            occ = np.bincount(self._row_data[gather], minlength=n_links)
+            counts -= occ
+            remaining -= occ * level
+            np.maximum(remaining, 0.0, out=remaining)

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.net.alloc import IncrementalAllocator
 from repro.net.fairness import FlowDemand, max_min_allocation
@@ -38,6 +40,13 @@ from repro.units import BITS_PER_BYTE
 # below _TIME_EPS are simultaneous.
 _BYTE_EPS = 1e-6
 _TIME_EPS = 1e-12
+
+
+def _grow(arr: np.ndarray, size: int) -> np.ndarray:
+    """Copy of ``arr`` zero-padded to ``size`` entries."""
+    grown = np.zeros(size, dtype=arr.dtype)
+    grown[: arr.shape[0]] = arr
+    return grown
 
 
 @dataclass
@@ -213,6 +222,63 @@ def set_default_allocator(name: str) -> str:
     return previous
 
 
+#: Event-loop implementations :class:`FluidSimulation` can use.
+LOOP_AUTO = "auto"
+LOOP_SCALAR = "scalar"
+LOOP_VECTOR = "vector"
+
+_LOOPS = (LOOP_AUTO, LOOP_SCALAR, LOOP_VECTOR)
+
+_default_loop = LOOP_AUTO
+
+# Flow count below which the vectorised event loop is not worth its NumPy
+# dispatch overhead in ``loop="auto"`` mode.
+_LOOP_MIN_FLOWS = 512
+
+
+def set_default_loop(name: str) -> str:
+    """Set the event loop new simulations default to; returns the previous.
+
+    ``"scalar"`` is the original per-flow Python event loop; ``"vector"``
+    holds flow state (remaining bytes, current rate, open rate segment) in
+    parallel NumPy arrays, picks the next event with an ``argmin`` over the
+    finish-time vector, drains and retires co-finishing flows in batches,
+    and only touches Python objects when a flow's rate actually changes
+    (lazily flushed rate segments).  Both produce bit-identical
+    :class:`FluidResult` contents; ``"auto"`` (the default) vectorises at
+    or above :func:`set_loop_threshold` registered flows.  Simulations
+    using the ``"reference"`` allocator always run the scalar loop — that
+    pairing *is* the reference implementation the A/B benchmarks compare
+    against.
+    """
+    global _default_loop
+    if name not in _LOOPS:
+        raise SimulationError(f"unknown loop {name!r}")
+    previous = _default_loop
+    _default_loop = name
+    return previous
+
+
+def set_loop_threshold(flows: int) -> int:
+    """Set the ``loop="auto"`` vectorisation flow threshold; returns the old.
+
+    A simulation in ``"auto"`` loop mode runs the vectorised event loop
+    only when at least this many flows are registered.  Pass ``0`` to
+    always vectorise.
+    """
+    global _LOOP_MIN_FLOWS
+    if flows < 0:
+        raise SimulationError("loop flow threshold must be >= 0")
+    previous = _LOOP_MIN_FLOWS
+    _LOOP_MIN_FLOWS = int(flows)
+    return previous
+
+
+def loop_threshold() -> int:
+    """Current ``loop="auto"`` vectorisation flow threshold."""
+    return _LOOP_MIN_FLOWS
+
+
 class FluidSimulation:
     """Max-min fair, event-driven flow-level simulator.
 
@@ -227,6 +293,8 @@ class FluidSimulation:
         allocator: ``"incremental"``, ``"vector"``, or ``"reference"``;
             ``None`` uses the module default (see
             :func:`set_default_allocator`).
+        loop: ``"auto"``, ``"scalar"``, or ``"vector"`` event loop; ``None``
+            uses the module default (see :func:`set_default_loop`).
     """
 
     def __init__(
@@ -236,6 +304,7 @@ class FluidSimulation:
         capacity_overrides: Optional[Mapping[str, float]] = None,
         extra_capacities: Optional[Mapping[str, float]] = None,
         allocator: Optional[str] = None,
+        loop: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.hose = hose
@@ -267,6 +336,11 @@ class FluidSimulation:
         if allocator not in _ALLOCATORS:
             raise SimulationError(f"unknown allocator {allocator!r}")
         self._allocator_mode = allocator
+        if loop is None:
+            loop = _default_loop
+        if loop not in _LOOPS:
+            raise SimulationError(f"unknown loop {loop!r}")
+        self._loop_mode = loop
         self._flows: Dict[str, Flow] = {}
         self._demands: Dict[str, FlowDemand] = {}
 
@@ -319,7 +393,25 @@ class FluidSimulation:
         Unbounded flows stop at their ``end_time``.  If ``until`` is given,
         the simulation stops there and the per-flow ``remaining_bytes`` in
         the result reflect partially transferred finite flows.
+
+        The scalar and vector event loops produce bit-identical results;
+        which one runs is controlled by the ``loop`` constructor argument
+        (see :func:`set_default_loop`).  The ``"reference"`` allocator always
+        uses the scalar loop — that pairing is the reference implementation.
         """
+        loop = self._loop_mode
+        if loop == LOOP_AUTO:
+            loop = (
+                LOOP_VECTOR
+                if len(self._flows) >= _LOOP_MIN_FLOWS
+                else LOOP_SCALAR
+            )
+        if loop == LOOP_VECTOR and self._allocator_mode != ALLOCATOR_REFERENCE:
+            return self._run_vector(until)
+        return self._run_scalar(until)
+
+    def _run_scalar(self, until: Optional[float]) -> FluidResult:
+        """The original per-flow Python event loop."""
         flows = self._flows
         timelines: Dict[str, RateTimeline] = {fid: RateTimeline() for fid in flows}
         completion: Dict[str, float] = {}
@@ -479,6 +571,243 @@ class FluidSimulation:
             timelines=timelines,
             remaining_bytes={
                 fid: (0.0 if math.isinf(rem) else rem) for fid, rem in remaining.items()
+            },
+            end_time=end_time,
+            states=states,
+        )
+
+    def _run_vector(self, until: Optional[float]) -> FluidResult:
+        """Array-backed event loop; bit-identical to :meth:`_run_scalar`.
+
+        Flow state lives in slot-indexed NumPy arrays (the slots are the
+        allocator's own flow slots, so rate vectors from
+        :meth:`~repro.net.alloc.IncrementalAllocator.solve_slots` gather
+        directly).  The next event comes from a min over the finish-time
+        vector, bytes drain in one vector step, and Python objects are only
+        touched when a flow's rate actually changes: rate segments are held
+        open in ``seg_start``/``seg_rate`` and flushed to the
+        :class:`RateTimeline` lazily.  Because a flow's timeline merges
+        contiguous equal-rate appends, the flushed segments are exactly the
+        merged segments the scalar loop records, and every floating-point
+        operation (finish projection, drain, Zeno residue reset) applies
+        the same ops to the same values as the scalar loop, so results
+        match bit for bit.
+        """
+        flows = self._flows
+        timelines: Dict[str, RateTimeline] = {fid: RateTimeline() for fid in flows}
+        completion: Dict[str, float] = {}
+        states: Dict[str, FlowState] = {fid: FlowState.PENDING for fid in flows}
+        remaining_out: Dict[str, float] = {
+            fid: flow.remaining_or_inf() for fid, flow in flows.items()
+        }
+
+        pending = sorted(flows.values(), key=lambda f: (f.start_time, f.flow_id))
+        pending_idx = 0
+        n_pending = len(pending)
+        incremental = IncrementalAllocator(
+            self._capacities,
+            mode=(
+                "vector" if self._allocator_mode == ALLOCATOR_VECTOR else "auto"
+            ),
+        )
+        inf = math.inf
+        n_flows = len(flows)
+
+        # Slot-indexed flow state (slots are allocator slots; a retired
+        # flow's slot may be reused, by which time its state was flushed).
+        rem = np.zeros(0, dtype=np.float64)
+        stop_arr = np.zeros(0, dtype=np.float64)
+        seg_start = np.zeros(0, dtype=np.float64)
+        # -1.0 marks "no open rate segment" (real rates are never negative).
+        seg_rate = np.zeros(0, dtype=np.float64)
+        fid_of: List[Optional[str]] = []
+        # Active finite / unbounded slots, in activation order (the order
+        # the scalar loop's dicts iterate in, which retirement must match).
+        af_buf = np.empty(n_flows, dtype=np.intp)
+        naf = 0
+        au_buf = np.empty(n_flows, dtype=np.intp)
+        nau = 0
+
+        now = min((f.start_time for f in flows.values()), default=0.0)
+        end_time = now
+
+        while True:
+            # Activate flows whose start time has arrived.
+            while pending_idx < n_pending and pending[pending_idx].start_time <= now + _TIME_EPS:
+                flow = pending[pending_idx]
+                pending_idx += 1
+                fid = flow.flow_id
+                if flow.is_unbounded:
+                    if flow.end_time <= flow.start_time + _TIME_EPS:
+                        states[fid] = FlowState.STOPPED
+                        continue
+                else:
+                    if remaining_out[fid] <= _BYTE_EPS:
+                        completion[fid] = flow.start_time
+                        states[fid] = FlowState.COMPLETED
+                        continue
+                states[fid] = FlowState.ACTIVE
+                slot = incremental.add_demand(fid, self._demands[fid])
+                if slot >= rem.shape[0]:
+                    new_size = max(16, 2 * rem.shape[0], slot + 1)
+                    rem = _grow(rem, new_size)
+                    stop_arr = _grow(stop_arr, new_size)
+                    seg_start = _grow(seg_start, new_size)
+                    seg_rate = _grow(seg_rate, new_size)
+                    fid_of.extend([None] * (new_size - len(fid_of)))
+                fid_of[slot] = fid
+                seg_rate[slot] = -1.0
+                if flow.is_unbounded:
+                    rem[slot] = inf
+                    stop_arr[slot] = flow.end_time
+                    au_buf[nau] = slot
+                    nau += 1
+                else:
+                    rem[slot] = remaining_out[fid]
+                    af_buf[naf] = slot
+                    naf += 1
+
+            if naf == 0 and nau == 0 and pending_idx >= n_pending:
+                end_time = now
+                break
+            if until is not None and now >= until - _TIME_EPS:
+                end_time = until
+                break
+
+            # Allocate rates and project the next event time.
+            rate_vec = incremental.solve_slots()
+            af = af_buf[:naf]
+            au = au_buf[:nau]
+            next_time = inf
+            if pending_idx < n_pending:
+                next_time = pending[pending_idx].start_time
+            if nau:
+                stop_u = stop_arr[au]
+                stop_min = stop_u.min()
+                if stop_min < next_time:
+                    next_time = stop_min
+            if naf:
+                rates_f = rate_vec[af]
+                rem_f = rem[af]
+                # rate 0 -> finish inf (no event); rate inf -> finish now,
+                # exactly the scalar loop's explicit ``next_time = now``.
+                with np.errstate(divide="ignore"):
+                    ft = now + rem_f * BITS_PER_BYTE / rates_f
+                ft_min = ft.min()
+                if ft_min < next_time:
+                    next_time = ft_min
+            if until is not None and until < next_time:
+                next_time = until
+            if next_time == inf:
+                raise SimulationError(
+                    "simulation stalled: active flows receive zero rate and "
+                    "no further events are scheduled"
+                )
+            if next_time < now:
+                next_time = now
+            next_time = float(next_time)
+            dt = next_time - now
+
+            # Lazily flush rate segments for flows whose rate changed, then
+            # drain finite flows in one vector step.
+            if nau:
+                rates_u = rate_vec[au]
+                changed_u = rates_u != seg_rate[au]
+                if changed_u.any():
+                    rows = au[changed_u]
+                    for slot in rows.tolist():
+                        sr = seg_rate[slot]
+                        if sr != -1.0:
+                            timelines[fid_of[slot]].append(
+                                float(seg_start[slot]), now, float(sr)
+                            )
+                    seg_start[rows] = now
+                    seg_rate[rows] = rates_u[changed_u]
+            if naf:
+                changed_f = rates_f != seg_rate[af]
+                if changed_f.any():
+                    rows = af[changed_f]
+                    for slot in rows.tolist():
+                        sr = seg_rate[slot]
+                        if sr != -1.0:
+                            timelines[fid_of[slot]].append(
+                                float(seg_start[slot]), now, float(sr)
+                            )
+                    seg_start[rows] = now
+                    seg_rate[rows] = rates_f[changed_f]
+                drained = rem_f - rates_f * dt / BITS_PER_BYTE
+                new_rem = np.where(drained > 0.0, drained, 0.0)
+                new_rem[np.isinf(rates_f)] = 0.0
+                # Zeno residue reset: a flow whose projected finish
+                # coincides with this event has drained (see _run_scalar).
+                new_rem[ft <= next_time + _TIME_EPS] = 0.0
+                rem[af] = new_rem
+
+            now = next_time
+            end_time = now
+
+            # Retire flows that completed or were switched off at ``now``,
+            # in activation order (matches the scalar loop's dict order and
+            # keeps the allocator's slot free-list identical).
+            if naf:
+                done_mask = new_rem <= _BYTE_EPS
+                if done_mask.any():
+                    for i in np.nonzero(done_mask)[0].tolist():
+                        slot = int(af[i])
+                        fid = fid_of[slot]
+                        sr = seg_rate[slot]
+                        if sr != -1.0:
+                            timelines[fid].append(
+                                float(seg_start[slot]), now, float(sr)
+                            )
+                        completion[fid] = now
+                        states[fid] = FlowState.COMPLETED
+                        remaining_out[fid] = float(new_rem[i])
+                        incremental.remove_flow(fid)
+                    kept = af[~done_mask]
+                    naf = kept.shape[0]
+                    af_buf[:naf] = kept
+            if nau:
+                stop_mask = stop_u <= now + _TIME_EPS
+                if stop_mask.any():
+                    for i in np.nonzero(stop_mask)[0].tolist():
+                        slot = int(au[i])
+                        fid = fid_of[slot]
+                        sr = seg_rate[slot]
+                        if sr != -1.0:
+                            timelines[fid].append(
+                                float(seg_start[slot]), now, float(sr)
+                            )
+                        states[fid] = FlowState.STOPPED
+                        incremental.remove_flow(fid)
+                    kept = au[~stop_mask]
+                    nau = kept.shape[0]
+                    au_buf[:nau] = kept
+
+            if until is not None and now >= until - _TIME_EPS:
+                end_time = until
+                break
+
+        # Flush segments still open at the stop time and record the
+        # remaining bytes of flows the run left active.
+        for buf, count in ((af_buf, naf), (au_buf, nau)):
+            for slot in buf[:count].tolist():
+                sr = seg_rate[slot]
+                if sr != -1.0:
+                    timelines[fid_of[slot]].append(
+                        float(seg_start[slot]), now, float(sr)
+                    )
+                remaining_out[fid_of[slot]] = float(rem[slot])
+        # Flows still pending or active when the run stops keep their state.
+        for fid in flows:
+            if states[fid] is FlowState.ACTIVE:
+                states[fid] = FlowState.STOPPED
+        return FluidResult(
+            completion_times=completion,
+            timelines=timelines,
+            remaining_bytes={
+                fid: (0.0 if math.isinf(r) else r)
+                for fid, r in remaining_out.items()
             },
             end_time=end_time,
             states=states,

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import RoutingError, TopologyError
 from repro.net.links import (
@@ -79,6 +80,196 @@ def route_cache_info() -> Dict[str, int]:
         "misses": _route_cache_misses,
         "enabled": int(_route_cache_enabled),
     }
+
+
+# ---------------------------------------------------------------------------
+# Structured-topology routing fast path
+# ---------------------------------------------------------------------------
+# Multi-rooted trees built from a TreeSpec have completely regular routes:
+# host i sits in pod i // (racks_per_pod * hosts_per_rack) and rack
+# (i // hosts_per_rack) % racks_per_pod, and every path is determined by the
+# relation between the two endpoints' coordinates (same host / rack / pod /
+# cross-pod) plus the ECMP core choice.  Builders register a _TreeRouter per
+# structure token; Topology.node_path consults it before falling back to
+# graph search.  The router must reproduce the graph-search answer exactly.
+_STRUCTURED_ROUTER_MAX_ENTRIES = 1024
+_structured_routers: Dict[str, "_TreeRouter"] = {}
+_structured_routing_enabled = True
+_structured_route_hits = 0
+
+
+def set_structured_routing_enabled(enabled: bool) -> bool:
+    """Enable/disable the structured routing fast path; returns prior state."""
+    global _structured_routing_enabled
+    previous = _structured_routing_enabled
+    _structured_routing_enabled = bool(enabled)
+    return previous
+
+
+def structured_routing_info() -> Dict[str, int]:
+    """Counters for the structured routing fast path."""
+    return {
+        "routers": len(_structured_routers),
+        "hits": _structured_route_hits,
+        "enabled": int(_structured_routing_enabled),
+    }
+
+
+class _TreeRouter:
+    """Arithmetic ECMP routing for trees built by :func:`build_multi_rooted_tree`.
+
+    Paths are derived from host coordinates instead of graph search.  The
+    core pick for cross-pod pairs replays ``node_path``'s hash-modulo over
+    the lexicographically sorted path list: cross-pod paths differ only in
+    the core hop, so sorted-path order equals sorted-core-name order.
+    """
+
+    def __init__(self, spec: "TreeSpec"):
+        self.spec = spec
+        self._hosts_per_pod = spec.hosts_per_rack * spec.racks_per_pod
+        self._num_hosts = spec.num_hosts
+        self._cores_sorted = sorted(f"core{c}" for c in range(spec.num_cores))
+
+    def host_coords(self, name: str) -> Optional[Tuple[int, int, int]]:
+        """(index, pod, rack) for a canonical host name, else None."""
+        if not name.startswith("host"):
+            return None
+        try:
+            idx = int(name[4:])
+        except ValueError:
+            return None
+        if not 0 <= idx < self._num_hosts or name != f"host{idx}":
+            return None
+        pod, rest = divmod(idx, self._hosts_per_pod)
+        return idx, pod, rest // self.spec.hosts_per_rack
+
+    def node_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """The ECMP path between two hosts, or None if not covered."""
+        a = self.host_coords(src)
+        if a is None:
+            return None
+        b = self.host_coords(dst)
+        if b is None:
+            return None
+        if src == dst:
+            return [src]
+        spec = self.spec
+        _, pa, ra = a
+        _, pb, rb = b
+        tor_a, tor_b = f"tor{pa}.{ra}", f"tor{pb}.{rb}"
+        if pa == pb:
+            if ra == rb:
+                return [src, tor_a, dst]
+            if spec.extra_agg_layer:
+                return [
+                    src, tor_a, f"agg{pa}.{ra}", f"agg{pa}",
+                    f"agg{pb}.{rb}", tor_b, dst,
+                ]
+            return [src, tor_a, f"agg{pa}", tor_b, dst]
+        if spec.num_cores == 1:
+            core = self._cores_sorted[0]
+        else:
+            digest = hashlib.sha256(f"{src}|{dst}".encode()).digest()
+            pick = int.from_bytes(digest[:4], "big") % spec.num_cores
+            core = self._cores_sorted[pick]
+        if spec.extra_agg_layer:
+            return [
+                src, tor_a, f"agg{pa}.{ra}", f"agg{pa}", core,
+                f"agg{pb}", f"agg{pb}.{rb}", tor_b, dst,
+            ]
+        return [src, tor_a, f"agg{pa}", core, f"agg{pb}", tor_b, dst]
+
+    def hop_count(self, src: str, dst: str) -> Optional[int]:
+        """Paper-convention hop count between two hosts, or None."""
+        a = self.host_coords(src)
+        if a is None:
+            return None
+        b = self.host_coords(dst)
+        if b is None:
+            return None
+        if src == dst:
+            return 1
+        _, pa, ra = a
+        _, pb, rb = b
+        if pa == pb:
+            if ra == rb:
+                return 2
+            return 6 if self.spec.extra_agg_layer else 4
+        return 8 if self.spec.extra_agg_layer else 6
+
+
+def _register_tree_router(topo: "Topology", spec: "TreeSpec") -> None:
+    token = topo.structure_token()
+    if token in _structured_routers:
+        return
+    if len(_structured_routers) >= _STRUCTURED_ROUTER_MAX_ENTRIES:
+        _structured_routers.clear()
+    _structured_routers[token] = _TreeRouter(spec)
+
+
+def _lazy_kth_shortest_path(
+    graph: nx.Graph, src: str, dst: str, k: Optional[int] = None
+) -> Optional[List[str]]:
+    """The k-th lexicographic shortest path without materialising them all.
+
+    A reverse BFS from ``dst`` yields, for every node on a shortest path,
+    the number of shortest paths from it to ``dst``.  Walking forward from
+    ``src`` and always taking the smallest-named neighbour whose subtree
+    still contains the k-th path then reproduces
+    ``sorted(nx.all_shortest_paths(graph, src, dst))[k]`` exactly: all
+    shortest paths share a length, so list comparison is decided at the
+    first differing node, and subtree path counts are contiguous blocks of
+    the sorted order.  When ``k`` is None it is derived from the endpoint
+    digest exactly as the eager implementation derived it.
+
+    Returns None when no path exists.
+    """
+    dist = {dst: 0}
+    frontier = [dst]
+    depth = 0
+    while frontier and src not in dist:
+        nxt: List[str] = []
+        for node in frontier:
+            for neigh in graph.neighbors(node):
+                if neigh not in dist:
+                    dist[neigh] = depth + 1
+                    nxt.append(neigh)
+        depth += 1
+        frontier = nxt
+    if src not in dist:
+        return None
+    target = dist[src]
+    levels: List[List[str]] = [[] for _ in range(target + 1)]
+    for node, d in dist.items():
+        if d <= target:
+            levels[d].append(node)
+    counts: Dict[str, int] = {dst: 1}
+    for d in range(1, target + 1):
+        for node in levels[d]:
+            total = 0
+            for neigh in graph.neighbors(node):
+                if dist.get(neigh) == d - 1:
+                    total += counts[neigh]
+            counts[node] = total
+    if k is None:
+        digest = hashlib.sha256(f"{src}|{dst}".encode()).digest()
+        k = int.from_bytes(digest[:4], "big") % counts[src]
+    path = [src]
+    node = src
+    while node != dst:
+        d = dist[node]
+        for neigh in sorted(graph.neighbors(node)):
+            if dist.get(neigh) != d - 1:
+                continue
+            c = counts[neigh]
+            if k < c:
+                node = neigh
+                path.append(neigh)
+                break
+            k -= c
+        else:  # pragma: no cover - counts guarantee a neighbour is found
+            raise RoutingError(f"path walk failed between {src!r} and {dst!r}")
+    return path
 
 
 class NodeKind(enum.Enum):
@@ -313,13 +504,21 @@ class Topology:
         the same pair always uses the same path, different pairs spread over
         the available cores.
         """
-        global _route_cache_hits, _route_cache_misses
+        global _route_cache_hits, _route_cache_misses, _structured_route_hits
         if src == dst:
             return [src]
         key = (src, dst)
         cached = self._path_cache.get(key)
         if cached is not None:
             return cached
+        if _structured_routing_enabled:
+            router = _structured_routers.get(self.structure_token())
+            if router is not None:
+                choice = router.node_path(src, dst)
+                if choice is not None:
+                    _structured_route_hits += 1
+                    self._path_cache[key] = choice
+                    return choice
         for node in (src, dst):
             if node not in self.graph:
                 raise TopologyError(f"unknown node {node!r}")
@@ -332,12 +531,9 @@ class Topology:
                 self._path_cache[key] = shared
                 return shared
             _route_cache_misses += 1
-        try:
-            paths = sorted(nx.all_shortest_paths(self.graph, src, dst))
-        except nx.NetworkXNoPath as exc:
-            raise RoutingError(f"no path between {src!r} and {dst!r}") from exc
-        digest = hashlib.sha256(f"{src}|{dst}".encode()).digest()
-        choice = paths[int.from_bytes(digest[:4], "big") % len(paths)]
+        choice = _lazy_kth_shortest_path(self.graph, src, dst)
+        if choice is None:
+            raise RoutingError(f"no path between {src!r} and {dst!r}")
         self._path_cache[key] = choice
         if shared_key is not None:
             if len(_route_cache) >= _ROUTE_CACHE_MAX_ENTRIES:
@@ -378,12 +574,70 @@ class Topology:
         """
         if src == dst:
             return 1
+        if _structured_routing_enabled:
+            router = _structured_routers.get(self.structure_token())
+            if router is not None:
+                hops = router.hop_count(src, dst)
+                if hops is not None:
+                    return hops
         return len(self.node_path(src, dst)) - 1
 
     def host_pairs(self) -> List[Tuple[str, str]]:
         """All ordered pairs of distinct hosts."""
         hosts = self.hosts()
         return [(a, b) for a, b in itertools.permutations(hosts, 2)]
+
+    def path_links_matrix(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Tuple["np.ndarray", "np.ndarray", List[str]]:
+        """Batched :meth:`path_links` as link-index rows.
+
+        Returns ``(rows, lengths, link_ids)``: ``rows`` is an int32 array of
+        shape ``(len(pairs), max_hops)`` whose valid prefix of row ``i``
+        (length ``lengths[i]``) holds indices into ``link_ids`` — the same
+        order as :meth:`capacities`/:meth:`links`, so rows feed straight
+        into array-based allocator layouts.  Padding entries are -1.
+        Loopback pairs (``src == dst``) get the host's loopback link, as in
+        :meth:`path_links`.
+        """
+        link_ids = list(self._links)
+        index = {lid: i for i, lid in enumerate(link_ids)}
+        router = None
+        if _structured_routing_enabled:
+            router = _structured_routers.get(self.structure_token())
+        all_rows: List[Tuple[int, ...]] = []
+        try:
+            for src, dst in pairs:
+                if src == dst:
+                    if self.node_kind(src) is not NodeKind.HOST:
+                        raise RoutingError(
+                            f"loopback path requires a host, got {src!r}"
+                        )
+                    all_rows.append((index[loopback_link_id(src)],))
+                    continue
+                nodes = router.node_path(src, dst) if router is not None else None
+                if nodes is None:
+                    nodes = self.node_path(src, dst)
+                all_rows.append(
+                    tuple(
+                        index[directed_link_id(a, b)]
+                        for a, b in zip(nodes, nodes[1:])
+                    )
+                )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise RoutingError(f"path uses unknown link: {exc}") from exc
+        n = len(all_rows)
+        lengths = np.fromiter((len(r) for r in all_rows), dtype=np.int64, count=n)
+        total = int(lengths.sum()) if n else 0
+        flat = np.fromiter(
+            (i for row in all_rows for i in row), dtype=np.int32, count=total
+        )
+        max_hops = int(lengths.max()) if n else 0
+        rows = np.full((n, max_hops), -1, dtype=np.int32)
+        if n and max_hops:
+            mask = np.arange(max_hops)[None, :] < lengths[:, None]
+            rows[mask] = flat
+        return rows, lengths.astype(np.int32), link_ids
 
 
 # --------------------------------------------------------------------------
@@ -415,6 +669,7 @@ def build_multi_rooted_tree(spec: TreeSpec = TreeSpec(), name: str = "dc") -> To
                 host_index += 1
                 topo.add_node(host, NodeKind.HOST, level=0)
                 topo.add_link(host, tor, spec.host_link_bps, LinkKind.HOST_TOR)
+    _register_tree_router(topo, spec)
     return topo
 
 

@@ -29,6 +29,7 @@ from repro.net.topology import (
     clear_route_cache,
     route_cache_info,
     set_route_cache_enabled,
+    set_structured_routing_enabled,
 )
 from repro.units import GBITPS, MBYTE
 from repro.workloads.generator import HPCloudWorkloadGenerator, WorkloadSpec
@@ -280,17 +281,23 @@ class TestTopologyCaches:
         assert topo.path_links("s1", "r1") is not first
 
     def test_route_cache_shared_across_identical_structures(self):
-        clear_route_cache()
-        a = build_multi_rooted_tree()
-        b = build_multi_rooted_tree()
-        assert a.structure_token() == b.structure_token()
-        path = a.node_path("host0", "host5")
-        misses_after_first = route_cache_info()["misses"]
-        assert b.node_path("host0", "host5") == path
-        info = route_cache_info()
-        assert info["hits"] >= 1
-        assert info["misses"] == misses_after_first  # no second computation
-        clear_route_cache()
+        # The structured router would answer tree routes arithmetically;
+        # disable it so this exercises the generic shared cache.
+        previous = set_structured_routing_enabled(False)
+        try:
+            clear_route_cache()
+            a = build_multi_rooted_tree()
+            b = build_multi_rooted_tree()
+            assert a.structure_token() == b.structure_token()
+            path = a.node_path("host0", "host5")
+            misses_after_first = route_cache_info()["misses"]
+            assert b.node_path("host0", "host5") == path
+            info = route_cache_info()
+            assert info["hits"] >= 1
+            assert info["misses"] == misses_after_first  # no second computation
+        finally:
+            set_structured_routing_enabled(previous)
+            clear_route_cache()
 
     def test_route_cache_can_be_disabled(self):
         clear_route_cache()
@@ -497,6 +504,32 @@ class TestBenchSuite:
         from repro.bench.benchmarks import DEFAULT_SUITE
 
         assert "scale" in DEFAULT_SUITE
+
+    def test_quick_fluid_loop_and_routing_benches_match(self):
+        from repro.bench.benchmarks import run_benchmarks
+
+        payload = run_benchmarks(quick=True, only=["fluid_loop", "routing"])
+        assert payload["all_matched"]
+        assert payload["benches"]["routing"]["params"]["n_hosts"] > 0
+        assert payload["params"]["numpy"]
+
+    def test_million_flow_benches_are_in_the_default_suite(self):
+        from repro.bench.benchmarks import DEFAULT_SUITE
+
+        assert "fluid_loop" in DEFAULT_SUITE
+        assert "routing" in DEFAULT_SUITE
+
+    def test_speedup_floor_failure_sets_exit_code(self, monkeypatch, capsys):
+        import repro.bench.benchmarks as benchmarks
+        from repro.bench.__main__ import main
+
+        # An impossible floor on a real (non-quick-exempt) run must fail.
+        monkeypatch.setattr(
+            benchmarks, "_TARGET_FLOORS",
+            (("greedy", "greedy_speedup", 1e9, ("speedup",)),),
+        )
+        assert main(["--only", "greedy", "--output", ""]) == 1
+        assert "below floor" in capsys.readouterr().err
 
 
 class TestFluidZenoRegression:

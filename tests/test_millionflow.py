@@ -1,0 +1,256 @@
+"""Million-flow engine properties: vector event loop + structured routing.
+
+Two contracts underpin the large-scale fast paths:
+
+* the vectorised fluid event loop must be *bit-identical* to the scalar
+  loop (same completion times, remaining bytes, states, end time, and
+  rate-timeline segments) on arbitrary workloads, and
+* the arithmetic tree-topology router must reproduce the graph-search
+  routes exactly, pair for pair, over entire host meshes.
+
+Both are checked property-style over randomised instances here; the
+benchmarks (``python -m repro.bench``) re-assert them at scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.net.flows import Flow
+from repro.net.fluid import (
+    ALLOCATOR_REFERENCE,
+    FluidSimulation,
+    LOOP_SCALAR,
+    LOOP_VECTOR,
+    RateTimeline,
+    SimulationError,
+    loop_threshold,
+    set_default_loop,
+    set_loop_threshold,
+)
+from repro.net.hose import HoseModel
+from repro.net.topology import (
+    TreeSpec,
+    _lazy_kth_shortest_path,
+    build_multi_rooted_tree,
+    clear_route_cache,
+    set_route_cache_enabled,
+    set_structured_routing_enabled,
+    structured_routing_info,
+)
+
+
+def _timelines_equal(a: RateTimeline, b: RateTimeline) -> bool:
+    if len(a.segments) != len(b.segments):
+        return False
+    return all(
+        sa.start == sb.start and sa.end == sb.end and sa.rate_bps == sb.rate_bps
+        for sa, sb in zip(a.segments, b.segments)
+    )
+
+
+def _assert_results_identical(reference, got, context=""):
+    assert got.completion_times == reference.completion_times, context
+    assert got.remaining_bytes == reference.remaining_bytes, context
+    assert got.end_time == reference.end_time, context
+    assert got.states == reference.states, context
+    assert set(got.timelines) == set(reference.timelines), context
+    for fid in reference.timelines:
+        assert _timelines_equal(reference.timelines[fid], got.timelines[fid]), (
+            context,
+            fid,
+            reference.timelines[fid].segments,
+            got.timelines[fid].segments,
+        )
+
+
+class TestVectorLoopBitIdentity:
+    """Scalar and vector event loops agree exactly, field for field."""
+
+    N_INSTANCES = 200
+
+    def _run_case(self, seed: int) -> None:
+        rng = random.Random(seed)
+        spec = TreeSpec(
+            pods=rng.choice([1, 2, 3]),
+            racks_per_pod=rng.choice([1, 2]),
+            hosts_per_rack=rng.choice([2, 4]),
+            num_cores=rng.choice([1, 2]),
+        )
+        topo = build_multi_rooted_tree(spec)
+        hosts = topo.hosts()
+        hose = None
+        if rng.random() < 0.4:
+            hose = HoseModel.uniform(hosts, rng.choice([0.5e9, 1e9]))
+        sim_s = FluidSimulation(topo, hose=hose, loop=LOOP_SCALAR)
+        sim_v = FluidSimulation(topo, hose=hose, loop=LOOP_VECTOR)
+        for i in range(rng.randint(1, 40)):
+            src = rng.choice(hosts)
+            dst = rng.choice([h for h in hosts if h != src])
+            start = rng.choice([0.0, rng.uniform(0, 2.0), rng.choice([0.5, 1.0])])
+            if rng.random() < 0.3:
+                # Unbounded flow; include zero-length and near-Zeno windows.
+                end = start + rng.choice([0.0, 1e-13, rng.uniform(0.01, 2.0)])
+                flow = Flow(
+                    flow_id=f"u{i}", src=src, dst=dst, size_bytes=None,
+                    start_time=start, end_time=end,
+                )
+            else:
+                size = rng.choice(
+                    [0.0, 1e-7, rng.uniform(1, 1e6), rng.choice([1e5, 2e5])]
+                )
+                max_rate = None
+                if rng.random() < 0.2:
+                    max_rate = rng.choice([1e6, 1e9, math.inf])
+                flow = Flow(
+                    flow_id=f"f{i}", src=src, dst=dst, size_bytes=size,
+                    start_time=start, max_rate_bps=max_rate,
+                )
+            sim_s.add_flow(flow)
+            sim_v.add_flow(flow)
+        until = rng.uniform(0.0, 1.5) if rng.random() < 0.4 else None
+        _assert_results_identical(
+            sim_s.run(until=until), sim_v.run(until=until), context=f"seed={seed}"
+        )
+
+    def test_randomized_instances_bit_identical(self):
+        for seed in range(self.N_INSTANCES):
+            self._run_case(seed)
+
+
+class TestLoopPlumbing:
+    """Mode switches: defaults, thresholds, and the reference pairing."""
+
+    def test_unknown_loop_rejected(self):
+        topo = build_multi_rooted_tree(TreeSpec(1, 1, 2, 1))
+        with pytest.raises(SimulationError):
+            FluidSimulation(topo, loop="turbo")
+        with pytest.raises(SimulationError):
+            set_default_loop("turbo")
+
+    def test_default_loop_round_trips(self):
+        previous = set_default_loop(LOOP_SCALAR)
+        try:
+            assert set_default_loop(LOOP_VECTOR) == LOOP_SCALAR
+        finally:
+            set_default_loop(previous)
+
+    def test_threshold_round_trips_and_validates(self):
+        before = loop_threshold()
+        previous = set_loop_threshold(7)
+        try:
+            assert previous == before
+            assert loop_threshold() == 7
+            with pytest.raises(SimulationError):
+                set_loop_threshold(-1)
+            assert loop_threshold() == 7
+        finally:
+            set_loop_threshold(previous)
+        assert loop_threshold() == before
+
+    def _loop_taken(self, monkeypatch, **kwargs) -> str:
+        topo = build_multi_rooted_tree(TreeSpec(1, 1, 4, 1))
+        sim = FluidSimulation(topo, **kwargs)
+        hosts = topo.hosts()
+        for i, (a, b) in enumerate(itertools.permutations(hosts[:3], 2)):
+            sim.add_flow(Flow(
+                flow_id=f"f{i}", src=a, dst=b, size_bytes=1e5, start_time=0.0,
+            ))
+        taken = []
+        scalar, vector = FluidSimulation._run_scalar, FluidSimulation._run_vector
+        monkeypatch.setattr(
+            FluidSimulation, "_run_scalar",
+            lambda self, until: taken.append("scalar") or scalar(self, until),
+        )
+        monkeypatch.setattr(
+            FluidSimulation, "_run_vector",
+            lambda self, until: taken.append("vector") or vector(self, until),
+        )
+        sim.run()
+        assert len(taken) == 1
+        return taken[0]
+
+    def test_auto_obeys_the_flow_threshold(self, monkeypatch):
+        previous = set_loop_threshold(0)
+        try:
+            assert self._loop_taken(monkeypatch, loop="auto") == "vector"
+            set_loop_threshold(10_000)
+            assert self._loop_taken(monkeypatch, loop="auto") == "scalar"
+        finally:
+            set_loop_threshold(previous)
+
+    def test_reference_allocator_forces_the_scalar_loop(self, monkeypatch):
+        taken = self._loop_taken(
+            monkeypatch, loop=LOOP_VECTOR, allocator=ALLOCATOR_REFERENCE
+        )
+        assert taken == "scalar"
+
+
+#: Assorted tree shapes: single rack, ECMP cores, asymmetric pod counts.
+_ROUTING_SPECS = (
+    TreeSpec(pods=1, racks_per_pod=1, hosts_per_rack=4, num_cores=1),
+    TreeSpec(pods=2, racks_per_pod=2, hosts_per_rack=2, num_cores=2),
+    TreeSpec(pods=2, racks_per_pod=2, hosts_per_rack=4, num_cores=3),
+    TreeSpec(pods=3, racks_per_pod=2, hosts_per_rack=2, num_cores=4),
+)
+
+
+class TestStructuredRouting:
+    """The arithmetic tree router reproduces graph search exactly."""
+
+    @pytest.mark.parametrize("spec", _ROUTING_SPECS, ids=str)
+    def test_matches_networkx_over_the_full_mesh(self, spec):
+        fast = build_multi_rooted_tree(spec)
+        assert structured_routing_info()["routers"] >= 1
+        previous = set_structured_routing_enabled(False)
+        previous_cache = set_route_cache_enabled(False)
+        clear_route_cache()
+        try:
+            slow = build_multi_rooted_tree(spec)
+            for src, dst in slow.host_pairs():
+                expected = slow.node_path(src, dst)
+                assert fast.node_path(src, dst) == expected, (src, dst)
+                assert fast.hop_count(src, dst) == len(expected) - 1
+        finally:
+            set_route_cache_enabled(previous_cache)
+            set_structured_routing_enabled(previous)
+
+    @pytest.mark.parametrize("spec", _ROUTING_SPECS[1:3], ids=str)
+    def test_path_links_matrix_agrees_with_path_links(self, spec):
+        topo = build_multi_rooted_tree(spec)
+        hosts = topo.hosts()
+        pairs = topo.host_pairs() + [(h, h) for h in hosts[:2]]
+        rows, lengths, link_ids = topo.path_links_matrix(pairs)
+        assert rows.shape[0] == len(pairs) == len(lengths)
+        for i, (src, dst) in enumerate(pairs):
+            expected = [link.link_id for link in topo.path_links(src, dst)]
+            got = [link_ids[j] for j in rows[i, : lengths[i]]]
+            assert got == expected, (src, dst)
+            assert (rows[i, lengths[i]:] == -1).all()
+
+    def test_lazy_kth_path_matches_eager_sort(self):
+        topo = build_multi_rooted_tree(_ROUTING_SPECS[3])
+        graph = topo.graph
+        hosts = topo.hosts()
+        rng = random.Random(11)
+        for src, dst in rng.sample(topo.host_pairs(), 25):
+            eager = sorted(nx.all_shortest_paths(graph, src, dst))
+            for k in range(len(eager)):
+                assert _lazy_kth_shortest_path(graph, src, dst, k) == eager[k]
+            digest = hashlib.sha256(f"{src}|{dst}".encode()).digest()
+            k = int.from_bytes(digest[:4], "big") % len(eager)
+            assert _lazy_kth_shortest_path(graph, src, dst) == eager[k]
+
+    def test_disable_switch_round_trips(self):
+        previous = set_structured_routing_enabled(False)
+        try:
+            assert structured_routing_info()["enabled"] == 0
+            assert set_structured_routing_enabled(True) is False
+        finally:
+            set_structured_routing_enabled(previous)
