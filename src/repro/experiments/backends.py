@@ -7,7 +7,7 @@ batches to :class:`~repro.experiments.results.TrialRecord` lists, and
 backends are registered by name so configs, the CLI, and result files can
 address them as data.
 
-Three backends ship in-tree:
+Four backends ship in-tree:
 
 * ``inline`` — run every trial in the current process (deterministic
   debugging default);
@@ -17,32 +17,38 @@ Three backends ship in-tree:
   ``python -m repro.experiments.backends`` worker process per chunk,
   exchanging JSON files.  Nothing in the protocol assumes a shared
   interpreter (or even a shared machine): the worker reads named work items
-  and writes plain-JSON records, which is the stepping stone to running
-  chunks over ssh on a multi-machine pool.
+  and writes plain-JSON records;
+* ``remote`` — lease chunks to long-running HTTP workers
+  (:mod:`repro.experiments.worker`), potentially on other machines, all
+  populating one shared :class:`~repro.experiments.cache.ResultStore`.
 
-The subprocess pool is the only backend whose workers can *die* (crash,
-OOM-kill, network partition on a future multi-machine pool), so it is the
-one that carries fault tolerance: workers stream records as JSON Lines —
-one line per completed trial, flushed — and the parent salvages whatever a
-dead or hung worker managed to finish, then retries only the missing
-trials in a fresh wave of workers.  Hung workers are detected with a
-per-chunk timeout and killed.  Because every trial is a deterministic
-function of its work item, a record salvaged from a crashed worker is
-bit-identical to one from a healthy worker, and a sweep that loses workers
-mid-flight still produces the exact result a clean run would.
+The subprocess pool and the remote fabric are the backends whose workers
+can *die* (crash, OOM-kill, network partition), so they carry the fault
+tolerance: workers stream records as JSON Lines — one line per completed
+trial, flushed — and the parent salvages whatever a dead or hung worker
+managed to finish, then retries only the missing trials in a fresh wave.
+Hung subprocess workers are detected with a per-chunk timeout and killed;
+hung remote workers miss their lease's heartbeat deadline and lose the
+lease.  Because every trial is a deterministic function of its work item,
+a record salvaged from a crashed worker is bit-identical to one from a
+healthy worker, and a sweep that loses workers mid-flight still produces
+the exact result a clean run would.
 
 Every backend must return records in the order of its input items, and a
 backend given the same items must produce the same records (modulo host
-wall-clock timings) — the equivalence tests hold all three to that.
+wall-clock timings) — the equivalence tests hold all of them to that.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import random
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from concurrent import futures
 from dataclasses import asdict, dataclass
@@ -74,17 +80,24 @@ DEFAULT_BACKEND = "inline"
 DEFAULT_MAX_RETRIES = 2
 
 #: Environment variables of the worker chaos hook (test-only): when both
-#: are set, the *first* worker to win the marker-file race in
-#: ``REPRO_WORKER_CHAOS_DIR`` misbehaves per ``REPRO_WORKER_CHAOS_MODE``
-#: (``crash``: exit hard after its first record; ``hang``: sleep forever
-#: after its first record).  Exactly one worker per chaos dir misbehaves,
-#: so chaos tests are deterministic in *what* is lost even though process
-#: scheduling is not.
+#: are set, workers that win the marker-file race in
+#: ``REPRO_WORKER_CHAOS_DIR`` misbehave per ``REPRO_WORKER_CHAOS_MODE``
+#: (``crash``: exit hard after the first record; ``hang``: sleep forever
+#: after the first record; ``slow``: drag every subsequent trial by
+#: :data:`CHAOS_SLOW_S`).  The mode may be a comma-separated list — e.g.
+#: ``crash,hang`` arms one worker per mode, in order — and each mode fires
+#: exactly once per chaos dir, so chaos tests are deterministic in *what*
+#: is lost even though process scheduling is not.
 CHAOS_DIR_ENV = "REPRO_WORKER_CHAOS_DIR"
 CHAOS_MODE_ENV = "REPRO_WORKER_CHAOS_MODE"
 
 #: Exit status of a chaos-crashed worker (distinct from argparse's 2).
 CHAOS_EXIT_STATUS = 17
+
+#: Per-trial drag of a chaos-slowed worker (straggler injection).
+CHAOS_SLOW_S = 0.4
+
+_CHAOS_MODES = ("crash", "hang", "slow")
 
 
 @runtime_checkable
@@ -422,6 +435,559 @@ class SubprocessPoolBackend:
         return failures
 
 
+# ---------------------------------------------------------------------------
+# remote: cost-aware chunking
+# ---------------------------------------------------------------------------
+#: Static per-cell cost priors (relative wall clock) used before the shared
+#: store has observed anything: an ilp cell costs roughly two orders of
+#: magnitude more than a random-placer cell on the same scenario (§6
+#: grids), so uniform chunking strands whole workers behind one ilp-heavy
+#: chunk while the rest sit idle.
+COST_PRIORS: Dict[str, float] = {
+    "ilp": 100.0,
+    "greedy": 3.0,
+    "random": 1.0,
+    "round-robin": 1.0,
+}
+
+#: Prior for placers the table does not name (between random and greedy).
+_DEFAULT_COST_PRIOR = 2.0
+
+
+def item_weight(
+    item: WorkItem,
+    cost_table: Optional[Mapping[tuple, float]] = None,
+) -> float:
+    """Expected cost of one work item, in whatever unit is available.
+
+    Observed mean wall seconds for the item's ``(scenario, placer)`` cell
+    when the shared store has seen that cell
+    (:meth:`~repro.experiments.cache.ResultStore.cost_table`), the placer's
+    static prior otherwise — so even the very first mixed-grid run chunks
+    non-uniformly.
+    """
+    if cost_table:
+        observed = cost_table.get(item.cost_key)
+        if observed:
+            return max(float(observed), 1e-6)
+    return COST_PRIORS.get(item.placer, _DEFAULT_COST_PRIOR)
+
+
+def _weighted_chunks(
+    weights: Sequence[float], n_chunks: int
+) -> List[List[int]]:
+    """Split positions into ``n_chunks`` chunks balanced by weight (LPT).
+
+    Longest-processing-time-first: heaviest positions are placed first,
+    each onto the currently lightest chunk, so the grid's cheap tail never
+    queues behind its one expensive cell.  Deterministic (ties break by
+    position), every returned chunk is non-empty, and positions inside a
+    chunk keep their input order.
+    """
+    n_chunks = max(1, min(n_chunks, len(weights)))
+    loads = [0.0] * n_chunks
+    chunks: List[List[int]] = [[] for _ in range(n_chunks)]
+    order = sorted(range(len(weights)), key=lambda pos: (-weights[pos], pos))
+    for pos in order:
+        target = min(
+            range(n_chunks), key=lambda c: (loads[c], len(chunks[c]), c)
+        )
+        chunks[target].append(pos)
+        loads[target] += weights[pos]
+    for chunk in chunks:
+        chunk.sort()
+    return [chunk for chunk in chunks if chunk]
+
+
+# ---------------------------------------------------------------------------
+# remote: lease-based scheduler
+# ---------------------------------------------------------------------------
+DEFAULT_HEARTBEAT_TIMEOUT_S = 30.0
+DEFAULT_BACKOFF_BASE_S = 0.25
+DEFAULT_STRAGGLER_FACTOR = 4.0
+
+#: A lease younger than this is never judged a straggler, whatever its
+#: siblings did: millisecond chunks would otherwise duplicate constantly.
+MIN_STRAGGLER_S = 1.0
+
+
+class _Lease:
+    """One chunk leased to one worker, with its receive-side state.
+
+    ``records`` maps *global* item indices to records as they stream in;
+    the reader thread is the only writer, the monitor only reads (both
+    under the GIL), so no lock is needed.
+    """
+
+    def __init__(self, lease_id: str, worker: int, indices: List[int]):
+        self.lease_id = lease_id
+        self.worker = worker  # index into the scheduler's client list
+        self.indices = indices  # global item indices, input order
+        self.records: Dict[int, TrialRecord] = {}
+        self.started = time.monotonic()
+        self.last_progress = self.started
+        self.finished_at: Optional[float] = None
+        self.completed = False  # worker sent its done trailer
+        self.failure: Optional[str] = None
+        self.cancel = threading.Event()
+        self.thread: Optional[threading.Thread] = None
+        self.redispatched = False
+        self.duplicate_of: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def missing(self) -> List[int]:
+        return [i for i in self.indices if i not in self.records]
+
+
+class RemoteBackend:
+    """Lease chunks to long-running HTTP workers — the multi-machine fabric.
+
+    Endpoints given, the backend talks to those workers
+    (``http://host:port`` running already, ``ssh://[user@]host:port``
+    launched first); none given, it spawns a localhost pool of ``workers``
+    processes, so ``--backend remote`` works out of the box and tests need
+    no ssh.
+
+    Fault model (the subprocess pool's semantics carried across machine
+    boundaries):
+
+    * each chunk is a *lease* with a heartbeat deadline: a worker that
+      streams no record for ``heartbeat_timeout_s`` is probed via
+      ``/health`` — unreachable means the machine died, reachable-but-
+      stalled means the lease hung; either way the lease is revoked and
+      its streamed prefix salvaged (garbled tails skipped);
+    * only missing trials are re-enqueued, in at most ``max_retries``
+      further waves, separated by seeded exponential backoff — seeded, so
+      a kill-then-salvage-then-retry sweep is reproducible run to run;
+    * a persistent straggler (running ``straggler_factor`` times longer
+      than the slowest finished lease while a worker sits idle) gets its
+      remaining trials re-dispatched to the idle worker; first finisher
+      wins and duplicate records are discarded by trial key (benign:
+      trials are deterministic, duplicates are identical);
+    * chunks are weighed by observed per-cell cost from the shared
+      store's cost table (placer priors before any observation), so
+      heterogeneous grids saturate all workers instead of stranding them
+      behind one ilp-heavy chunk.
+
+    ``store_root`` (the runner passes its ``cache_dir``) is both the cost
+    table's source and the ``--cache-dir`` handed to self-spawned workers,
+    so every worker writes the one shared store.
+
+    ``last_fabric_stats`` exposes lease/salvage/retry/duplicate counters
+    and per-worker idle fractions after each :meth:`map_trials` — the
+    bench reports them.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        endpoints: Sequence[str] = (),
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_seed: int = 0,
+        straggler_factor: float = DEFAULT_STRAGGLER_FACTOR,
+        store_root: Optional[str] = None,
+    ):
+        if max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        if heartbeat_timeout_s <= 0:
+            raise ExperimentError("heartbeat_timeout_s must be positive")
+        if backoff_base_s < 0:
+            raise ExperimentError("backoff_base_s must be >= 0")
+        if straggler_factor <= 1.0:
+            raise ExperimentError("straggler_factor must be > 1")
+        self.workers = workers
+        self.endpoints = tuple(endpoints)
+        self.max_retries = max_retries
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_seed = backoff_seed
+        self.straggler_factor = straggler_factor
+        self.store_root = store_root
+        self.last_fabric_stats: Dict[str, object] = {}
+
+    def submit(self, item: WorkItem) -> TrialRecord:
+        return self.map_trials([item])[0]
+
+    def map_trials(self, items: Sequence[WorkItem]) -> List[TrialRecord]:
+        if not items:
+            return []
+        # Imported here, not at module level: worker.py imports this module
+        # for the shared wire schema and chaos hook.
+        from repro.experiments import worker as worker_mod
+
+        pool: Optional[worker_mod.LocalWorkerPool] = None
+        launched: List[subprocess.Popen] = []
+        try:
+            clients: List[worker_mod.WorkerClient] = []
+            if self.endpoints:
+                for spec in self.endpoints:
+                    endpoint = worker_mod.parse_endpoint(spec)
+                    if endpoint.scheme == "ssh":
+                        launched.append(
+                            worker_mod.launch_ssh_worker(
+                                endpoint, cache_dir=self.store_root
+                            )
+                        )
+                    clients.append(
+                        worker_mod.WorkerClient(endpoint.host, endpoint.port)
+                    )
+            else:
+                pool = worker_mod.spawn_local_workers(
+                    _resolve_workers(self.workers, len(items)),
+                    cache_dir=self.store_root,
+                )
+                clients = [
+                    worker_mod.WorkerClient(host, port)
+                    for host, port in pool.addresses
+                ]
+            return self._run(items, clients)
+        finally:
+            if pool is not None:
+                pool.close()
+            for proc in launched:
+                if proc.poll() is None:
+                    proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    # ------------------------------------------------------------- scheduling
+    def _run(self, items: Sequence[WorkItem], clients: List) -> List[TrialRecord]:
+        cost_table = self._cost_table()
+        stats: Dict[str, object] = {
+            "workers": len(clients),
+            "leases": 0,
+            "retry_waves": 0,
+            "retried_trials": 0,
+            "salvaged_records": 0,
+            "duplicates_discarded": 0,
+            "stragglers_redispatched": 0,
+            "backoff_delays_s": [],
+            "cost_source": "observed" if cost_table else "priors",
+        }
+        self.last_fabric_stats = stats
+        # One deterministic jitter stream per sweep: same seed, same missing
+        # sets => identical backoff delays, so chaos runs reproduce exactly.
+        rng = random.Random(self.backoff_seed)
+        state = [
+            {"alive": True, "tainted": False, "busy_s": 0.0} for _ in clients
+        ]
+        lease_seq = itertools.count()
+        records: Dict[int, TrialRecord] = {}
+        failures: List[str] = []
+        started = time.monotonic()
+        for wave in range(self.max_retries + 1):
+            missing = [i for i in range(len(items)) if i not in records]
+            if not missing:
+                break
+            if wave:
+                delay = (
+                    self.backoff_base_s * (2 ** (wave - 1))
+                    * (0.5 + rng.random())
+                )
+                stats["backoff_delays_s"].append(round(delay, 6))
+                time.sleep(delay)
+                stats["retry_waves"] += 1
+                stats["retried_trials"] += len(missing)
+            failures.extend(
+                self._run_wave(
+                    items, missing, records, wave, clients, state, stats,
+                    cost_table, lease_seq,
+                )
+            )
+        missing = [i for i in range(len(items)) if i not in records]
+        if missing:
+            detail = "; ".join(failures[-4:]) if failures else "no worker output"
+            raise ExperimentError(
+                f"remote backend gave up on {len(missing)} trial(s) after "
+                f"{self.max_retries + 1} wave(s): {detail}"
+            )
+        makespan = time.monotonic() - started
+        stats["makespan_s"] = round(makespan, 4)
+        if makespan > 0:
+            idle = [
+                max(0.0, 1.0 - st["busy_s"] / makespan) for st in state
+            ]
+            stats["max_worker_idle_fraction"] = round(max(idle), 4)
+            # Total worker-busy time over makespan: how many workers the
+            # scheduler kept fed *concurrently*.  Unlike wall-clock speedup
+            # this measures the fabric, not the host — it stays ~fleet-sized
+            # on an oversubscribed single core, and collapses toward 1 when
+            # bad chunking strands workers.
+            stats["scheduled_parallelism"] = round(
+                sum(st["busy_s"] for st in state) / makespan, 3
+            )
+        stats["failures"] = failures
+        return [records[i] for i in range(len(items))]
+
+    def _run_wave(
+        self,
+        items: Sequence[WorkItem],
+        missing: Sequence[int],
+        records: Dict[int, TrialRecord],
+        wave: int,
+        clients: List,
+        state: List[Dict[str, object]],
+        stats: Dict[str, object],
+        cost_table: Mapping,
+        lease_seq,
+    ) -> List[str]:
+        """Lease the missing items out, monitor, salvage; returns failures."""
+        available = self._available_workers(clients, state, probe=wave > 0)
+        if not available:
+            raise ExperimentError(
+                "remote backend has no live workers left to lease to"
+            )
+        weights = [item_weight(items[i], cost_table) for i in missing]
+        chunks = _weighted_chunks(weights, len(available))
+        leases: List[_Lease] = []
+        for chunk_no, positions in enumerate(chunks):
+            leases.append(
+                self._dispatch(
+                    items, [missing[p] for p in positions],
+                    available[chunk_no], clients, stats, lease_seq,
+                )
+            )
+        self._monitor(items, leases, clients, state, stats, lease_seq)
+        failures: List[str] = []
+        for lease in leases:
+            merged = 0
+            for index in lease.indices:
+                record = lease.records.get(index)
+                if record is None:
+                    continue
+                if index in records:
+                    # A straggler's re-dispatched trial finished twice:
+                    # first finisher won, this copy is identical (the trial
+                    # key determines the record) and is discarded.
+                    stats["duplicates_discarded"] += 1
+                else:
+                    records[index] = record
+                    merged += 1
+            if lease.failure is None and lease.missing:
+                lease.failure = "worker returned short"
+            if lease.failure:
+                stats["salvaged_records"] += merged
+                failures.append(
+                    f"wave {wave} {lease.lease_id} on "
+                    f"{clients[lease.worker].address} "
+                    f"({merged}/{len(lease.indices)} trial(s) salvaged): "
+                    f"{lease.failure}"
+                )
+        return failures
+
+    def _available_workers(
+        self, clients: List, state: List[Dict[str, object]], probe: bool
+    ) -> List[int]:
+        """Workers to lease to, healthy first, tainted-but-alive as fallback.
+
+        Retry waves probe candidates up front so a worker that crashed in
+        the previous wave is never leased to again; a *tainted* worker
+        (one that hung a lease but still answers ``/health``) is used only
+        when nothing untainted is alive — its HTTP server accepts fresh
+        lease threads even while the stuck one sleeps.
+        """
+        if probe:
+            for worker, st in enumerate(state):
+                if st["alive"] and clients[worker].health() is None:
+                    st["alive"] = False
+        healthy = [
+            w for w, st in enumerate(state)
+            if st["alive"] and not st["tainted"]
+        ]
+        if healthy:
+            return healthy
+        return [w for w, st in enumerate(state) if st["alive"]]
+
+    def _dispatch(
+        self,
+        items: Sequence[WorkItem],
+        indices: List[int],
+        worker: int,
+        clients: List,
+        stats: Dict[str, object],
+        lease_seq,
+        duplicate_of: Optional[str] = None,
+    ) -> _Lease:
+        lease = _Lease(f"lease-{next(lease_seq)}", worker, indices)
+        lease.duplicate_of = duplicate_of
+        stats["leases"] += 1
+        client = clients[worker]
+        payload = [items[i].to_json_dict() for i in indices]
+
+        def run() -> None:
+            stream = None
+            try:
+                stream = client.open_lease(lease.lease_id, payload)
+                while not lease.cancel.is_set():
+                    events = stream.poll(0.25)
+                    for data in events:
+                        if "schema" in data:
+                            if data["schema"] != WORKER_SCHEMA:
+                                lease.failure = (
+                                    f"worker speaks {data['schema']!r}, "
+                                    f"not {WORKER_SCHEMA!r}"
+                                )
+                                lease.cancel.set()
+                            continue
+                        if data.get("done"):
+                            lease.completed = True
+                            continue
+                        try:
+                            local = int(data["index"])
+                            record = TrialRecord(**data["record"])
+                        except (KeyError, TypeError, ValueError):
+                            continue  # garbled line: neighbours stand
+                        if 0 <= local < len(lease.indices):
+                            lease.records[lease.indices[local]] = record
+                            lease.last_progress = time.monotonic()
+                    if lease.completed or stream.eof:
+                        break
+            except Exception as exc:  # noqa: BLE001 - any failure fails the lease
+                if lease.failure is None:
+                    lease.failure = f"{type(exc).__name__}: {exc}"
+            finally:
+                if stream is not None:
+                    stream.close()
+                if (
+                    not lease.completed
+                    and lease.failure is None
+                    and not lease.cancel.is_set()
+                ):
+                    lease.failure = (
+                        "connection ended before the done trailer "
+                        "(worker died mid-chunk)"
+                    )
+                lease.finished_at = time.monotonic()
+
+        lease.thread = threading.Thread(
+            target=run, name=lease.lease_id, daemon=True
+        )
+        lease.thread.start()
+        return lease
+
+    def _monitor(
+        self,
+        items: Sequence[WorkItem],
+        leases: List[_Lease],
+        clients: List,
+        state: List[Dict[str, object]],
+        stats: Dict[str, object],
+        lease_seq,
+    ) -> None:
+        """Watch a wave's leases: heartbeats, death, stragglers.
+
+        Returns once every lease (including straggler duplicates it
+        dispatched) has finished; worker busy time is accounted here for
+        the idle-fraction stats.
+        """
+        while True:
+            running = [lease for lease in leases if not lease.done]
+            if not running:
+                break
+            now = time.monotonic()
+            for lease in running:
+                if now - lease.last_progress <= self.heartbeat_timeout_s:
+                    continue
+                # Heartbeat missed: machine dead, or lease merely stuck?
+                health = clients[lease.worker].health(
+                    timeout_s=min(self.heartbeat_timeout_s, 5.0)
+                )
+                if health is None:
+                    state[lease.worker]["alive"] = False
+                    lease.failure = (
+                        f"no record for {self.heartbeat_timeout_s:.1f}s and "
+                        "/health unreachable (worker presumed dead)"
+                    )
+                else:
+                    state[lease.worker]["tainted"] = True
+                    lease.failure = (
+                        f"no record for {self.heartbeat_timeout_s:.1f}s "
+                        "though /health answers (lease hung)"
+                    )
+                lease.cancel.set()
+                lease.last_progress = now  # one verdict per deadline
+            self._redispatch_stragglers(
+                items, leases, clients, state, stats, lease_seq
+            )
+            time.sleep(0.02)
+        for lease in leases:
+            if lease.thread is not None:
+                lease.thread.join(timeout=5.0)
+            end = lease.finished_at or time.monotonic()
+            state[lease.worker]["busy_s"] += end - lease.started
+
+    def _redispatch_stragglers(
+        self,
+        items: Sequence[WorkItem],
+        leases: List[_Lease],
+        clients: List,
+        state: List[Dict[str, object]],
+        stats: Dict[str, object],
+        lease_seq,
+    ) -> None:
+        finished_ok = [
+            lease.finished_at - lease.started
+            for lease in leases
+            if lease.done and lease.failure is None
+        ]
+        if not finished_ok:
+            return
+        threshold = max(
+            MIN_STRAGGLER_S, self.straggler_factor * max(finished_ok)
+        )
+        busy = {lease.worker for lease in leases if not lease.done}
+        idle = [
+            worker
+            for worker, st in enumerate(state)
+            if st["alive"] and not st["tainted"] and worker not in busy
+        ]
+        now = time.monotonic()
+        for lease in leases:
+            if not idle:
+                break
+            if (
+                lease.done
+                or lease.redispatched
+                or lease.duplicate_of is not None
+                or lease.failure is not None
+                or now - lease.started < threshold
+            ):
+                continue
+            remaining = lease.missing
+            if not remaining:
+                continue
+            # The lease is not revoked — the straggler may yet finish;
+            # whichever copy of each trial lands first wins.
+            duplicate = self._dispatch(
+                items, remaining, idle.pop(0), clients, stats, lease_seq,
+                duplicate_of=lease.lease_id,
+            )
+            leases.append(duplicate)
+            lease.redispatched = True
+            stats["stragglers_redispatched"] += 1
+
+    def _cost_table(self) -> Dict:
+        if not self.store_root:
+            return {}
+        from repro.experiments.cache import ResultStore
+
+        try:
+            return ResultStore(self.store_root).cost_table()
+        except OSError:
+            return {}
+
+
 def worker_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of one subprocess-pool worker.
 
@@ -457,31 +1023,39 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
             out.flush()
             if chaos_mode == "crash":
                 os._exit(CHAOS_EXIT_STATUS)
-            if chaos_mode == "hang":
+            elif chaos_mode == "hang":
                 time.sleep(3600)
+            elif chaos_mode == "slow":
+                time.sleep(CHAOS_SLOW_S)
     return 0
 
 
 def _arm_chaos() -> Optional[str]:
-    """Decide whether *this* worker misbehaves (see the chaos env docs).
+    """Decide whether *this* worker (or lease) misbehaves (see chaos env docs).
 
-    The marker file is created atomically, so across however many workers
-    share the chaos dir exactly one arms itself; the rest (and every
-    retry-wave worker) run clean.
+    Each marker file is created atomically, so across however many workers
+    share the chaos dir exactly one arms itself *per configured mode* —
+    ``crash,hang`` breaks two distinct workers; the rest (and every
+    retry-wave worker) run clean.  The first mode keeps the historical
+    marker name ``chaos-fired`` so callers can assert it fired.
     """
     chaos_dir = os.environ.get(CHAOS_DIR_ENV)
-    mode = os.environ.get(CHAOS_MODE_ENV)
-    if not chaos_dir or mode not in ("crash", "hang"):
+    spec = os.environ.get(CHAOS_MODE_ENV) or ""
+    modes = [mode.strip() for mode in spec.split(",") if mode.strip()]
+    if not chaos_dir or not modes or any(m not in _CHAOS_MODES for m in modes):
         return None
-    try:
-        fd = os.open(
-            os.path.join(chaos_dir, "chaos-fired"),
-            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
-        )
-        os.close(fd)
-    except (FileExistsError, OSError):
-        return None
-    return mode
+    for k, mode in enumerate(modes):
+        marker = "chaos-fired" if k == 0 else f"chaos-fired-{k}"
+        try:
+            fd = os.open(
+                os.path.join(chaos_dir, marker),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+            os.close(fd)
+        except (FileExistsError, OSError):
+            continue
+        return mode
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -537,6 +1111,59 @@ register_backend(
             "(the stepping stone to multi-machine pools)."
         ),
         factory=_make_subprocess_pool,
+    )
+)
+
+
+def _make_remote(
+    workers: Optional[int], options: Mapping[str, object]
+) -> RemoteBackend:
+    known = {
+        "endpoints", "max_retries", "heartbeat_timeout_s", "backoff_base_s",
+        "backoff_seed", "straggler_factor", "store_root",
+    }
+    unknown = set(options) - known
+    if unknown:
+        raise ExperimentError(
+            f"backend 'remote' got unknown option(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    endpoints = options.get("endpoints") or ()
+    if isinstance(endpoints, str):
+        endpoints = [spec for spec in endpoints.split(",") if spec.strip()]
+    try:
+        return RemoteBackend(
+            workers=workers,
+            endpoints=[str(spec) for spec in endpoints],
+            max_retries=int(options.get("max_retries", DEFAULT_MAX_RETRIES)),
+            heartbeat_timeout_s=float(
+                options.get("heartbeat_timeout_s", DEFAULT_HEARTBEAT_TIMEOUT_S)
+            ),
+            backoff_base_s=float(
+                options.get("backoff_base_s", DEFAULT_BACKOFF_BASE_S)
+            ),
+            backoff_seed=int(options.get("backoff_seed", 0)),
+            straggler_factor=float(
+                options.get("straggler_factor", DEFAULT_STRAGGLER_FACTOR)
+            ),
+            store_root=(
+                str(options["store_root"]) if options.get("store_root") else None
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(f"bad remote option: {exc}") from exc
+
+
+register_backend(
+    BackendSpec(
+        name="remote",
+        description=(
+            "Lease chunks to long-running HTTP workers (localhost pool by "
+            "default, http:// or ssh:// endpoints for other machines); "
+            "heartbeat-monitored leases salvage and retry work from dead, "
+            "hung, or straggling workers, all writing one shared store."
+        ),
+        factory=_make_remote,
     )
 )
 

@@ -16,9 +16,26 @@ Layout: one JSON file per cell, addressed by the SHA-256 of the canonical
 JSON encoding of the key::
 
     <root>/<code_version[:16]>/<digest[:2]>/<digest>.json
+    <root>/<code_version[:16]>/costs/<writer>.json   (observed-cost sidecars)
 
 Each file carries the full key next to the record, so a hash collision (or
 a corrupted file) is detected on read and treated as a miss.
+
+The store is safe to share between concurrent writers — including N
+machines mounting one network directory, which is how the ``remote``
+backend's workers populate a single store.  Every write lands under a
+unique temp name (pid + random token) and becomes visible only through an
+atomic rename, so a partial file is never visible under a cell name and
+two processes storing the same cell cannot collide mid-rename.  When both
+complete, last-writer-wins is benign: the cell is content-addressed, so
+both wrote records of the same deterministic trial.
+
+Writers also accumulate *observed per-cell cost* — mean trial wall seconds
+per ``(scenario, placer)`` — into per-writer sidecar files under
+``costs/``.  :meth:`ResultStore.cost_table` merges all sidecars; the
+remote backend's cost-aware chunker reads it so an ilp-heavy chunk does
+not strand a worker behind two orders of magnitude more work than its
+siblings got.
 """
 
 from __future__ import annotations
@@ -26,16 +43,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import secrets
 import shutil
-import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.experiments.results import TrialRecord
 
 #: Schema tag written into every cell file.
 CACHE_SCHEMA = "repro.experiments/cache/v1"
+
+#: Schema tag of the per-writer observed-cost sidecar files.
+COST_SCHEMA = "repro.experiments/costs/v1"
+
+#: Directory (under the version dir) holding the cost sidecars.  Its files
+#: are not cells: ``__len__`` and ``prune_stale`` exclude it.
+_COSTS_DIRNAME = "costs"
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +167,11 @@ class ResultStore:
         self.root = Path(root)
         self.version = version if version is not None else code_version()
         self._stats = {"hits": 0, "misses": 0, "stored": 0, "invalidated": 0}
+        # Per-writer identity: temp files and the cost sidecar embed it so
+        # concurrent writers (other processes, other machines) never share
+        # a file name.
+        self._writer_token = f"{os.getpid()}-{secrets.token_hex(4)}"
+        self._costs: Dict[Tuple[str, str], List[float]] = {}
 
     # ------------------------------------------------------------- addressing
     def key_for(
@@ -198,7 +227,16 @@ class ResultStore:
         return record
 
     def put(self, key: CacheKey, record: TrialRecord) -> Path:
-        """Store ``record`` under ``key`` (atomic write-then-rename)."""
+        """Store ``record`` under ``key`` (atomic write-then-rename).
+
+        Concurrent-writer safe: the temp name embeds this writer's pid and
+        a random token (``mkstemp``'s ``O_EXCL`` guarantee does not hold on
+        all network filesystems, unique names do not need it), the bytes
+        are fsynced before the rename so a machine crash cannot leave a
+        renamed-but-empty cell, and the rename is atomic so readers only
+        ever see complete cells.  Two writers racing the same cell is a
+        benign last-writer-wins: the key determines the record.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -207,18 +245,21 @@ class ResultStore:
             "record": asdict(record),
         }
         text = json.dumps(payload, sort_keys=True, default=repr)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp_path = path.with_name(f"{path.name}.{self._writer_token}.tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
+            with open(tmp_path, "w") as handle:
                 handle.write(text)
-            os.replace(tmp_name, path)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
         except BaseException:
             try:
-                os.unlink(tmp_name)
+                os.unlink(tmp_path)
             except OSError:
                 pass
             raise
         self._stats["stored"] += 1
+        self._record_cost(key, record)
         return path
 
     def _invalidate(self, path: Path) -> None:
@@ -228,6 +269,81 @@ class ResultStore:
             path.unlink()
         except OSError:
             pass
+
+    # -------------------------------------------------------------- cost model
+    def _record_cost(self, key: CacheKey, record: TrialRecord) -> None:
+        wall = getattr(record, "trial_wall_s", None)
+        if not wall or wall <= 0:
+            return
+        entry = self._costs.setdefault((key.scenario, key.placer), [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(wall)
+
+    def flush_costs(self) -> Optional[Path]:
+        """Persist this writer's observed per-cell costs (atomic rename).
+
+        Each writer owns exactly one sidecar file (named by its writer
+        token) under ``<root>/<version[:16]>/costs/``, so N concurrent
+        writers never contend and no locking is needed;
+        :meth:`cost_table` merges them all.  Returns the sidecar path, or
+        ``None`` while nothing has been observed.
+        """
+        if not self._costs:
+            return None
+        cost_dir = self.root / self.version[:16] / _COSTS_DIRNAME
+        cost_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": COST_SCHEMA,
+            "costs": [
+                {
+                    "scenario": scenario,
+                    "placer": placer,
+                    "count": count,
+                    "total_wall_s": total,
+                }
+                for (scenario, placer), (count, total) in sorted(
+                    self._costs.items()
+                )
+            ],
+        }
+        path = cost_dir / f"{self._writer_token}.json"
+        tmp_path = path.with_name(path.name + ".tmp")
+        tmp_path.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp_path, path)
+        return path
+
+    def cost_table(self) -> Dict[Tuple[str, str], float]:
+        """Mean observed trial wall seconds per ``(scenario, placer)`` cell.
+
+        Merged across every writer's flushed sidecar; unreadable or
+        foreign files are skipped, and the table is simply empty until
+        some writer has flushed.  This is what the remote backend's
+        cost-aware chunker weighs chunks with.
+        """
+        cost_dir = self.root / self.version[:16] / _COSTS_DIRNAME
+        if not cost_dir.is_dir():
+            return {}
+        merged: Dict[Tuple[str, str], List[float]] = {}
+        for path in sorted(cost_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict) or payload.get("schema") != COST_SCHEMA:
+                continue
+            for row in payload.get("costs", ()):
+                try:
+                    cell = (str(row["scenario"]), str(row["placer"]))
+                    count = int(row["count"])
+                    total = float(row["total_wall_s"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if count <= 0:
+                    continue
+                entry = merged.setdefault(cell, [0, 0.0])
+                entry[0] += count
+                entry[1] += total
+        return {cell: total / count for cell, (count, total) in merged.items()}
 
     # ------------------------------------------------------------ maintenance
     def prune_stale(self) -> int:
@@ -244,7 +360,7 @@ class ResultStore:
         for version_dir in self.root.iterdir():
             if not version_dir.is_dir() or version_dir.name == current:
                 continue
-            removed += sum(1 for _ in version_dir.rglob("*.json"))
+            removed += sum(1 for _ in self._cell_files(version_dir))
             # rmtree, not per-cell unlink: stale dirs may also hold .tmp
             # droppings from writes interrupted mid-put.
             shutil.rmtree(version_dir, ignore_errors=True)
@@ -257,12 +373,21 @@ class ResultStore:
         """Counters: ``hits``, ``misses``, ``stored``, ``invalidated``."""
         return dict(self._stats)
 
+    @staticmethod
+    def _cell_files(version_dir: Path):
+        """Cell files under one version dir (cost sidecars are not cells)."""
+        return (
+            path
+            for path in version_dir.rglob("*.json")
+            if path.parent.name != _COSTS_DIRNAME
+        )
+
     def __len__(self) -> int:
         """Cells stored under the *current* code version."""
         version_dir = self.root / self.version[:16]
         if not version_dir.is_dir():
             return 0
-        return sum(1 for _ in version_dir.rglob("*.json"))
+        return sum(1 for _ in self._cell_files(version_dir))
 
     def __repr__(self) -> str:
         return (

@@ -128,6 +128,23 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         ),
     )
     run_cmd.add_argument(
+        "--endpoint", action="append", default=[], metavar="URL",
+        help=(
+            "remote backend only (repeatable): worker endpoint — "
+            "http://host:port for a running worker, ssh://[user@]host:port "
+            "to launch one there first; none given, the backend spawns a "
+            "localhost pool of --jobs workers"
+        ),
+    )
+    run_cmd.add_argument(
+        "--heartbeat-timeout-s", type=float, default=None, metavar="SECONDS",
+        help=(
+            "remote backend only: a leased worker that streams no record "
+            "for this long loses the lease — its finished trials are "
+            "salvaged, the rest re-enqueued (default: 30)"
+        ),
+    )
+    run_cmd.add_argument(
         "--cache-stats", action="store_true",
         help="print the persistent store's hit/miss/stored/invalidated "
         "counters after the run (needs --cache-dir)",
@@ -207,6 +224,8 @@ def _make_config(
     fail_fast: bool = False,
     max_retries: int = 2,
     chunk_timeout_s: Optional[float] = None,
+    endpoints: Sequence[str] = (),
+    heartbeat_timeout_s: Optional[float] = None,
 ) -> ExperimentConfig:
     placers = tuple(name.strip() for name in placers_csv.split(",") if name.strip())
     overrides = _parse_params(param_items)
@@ -240,6 +259,8 @@ def _make_config(
         fail_fast=fail_fast,
         max_retries=max_retries,
         chunk_timeout_s=chunk_timeout_s,
+        endpoints=tuple(endpoints),
+        heartbeat_timeout_s=heartbeat_timeout_s,
     )
 
 
@@ -277,6 +298,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fail_fast=args.fail_fast,
         max_retries=args.max_retries,
         chunk_timeout_s=args.chunk_timeout_s,
+        endpoints=args.endpoint,
+        heartbeat_timeout_s=args.heartbeat_timeout_s,
     )
     runner = ExperimentRunner(config)
     result = runner.run()

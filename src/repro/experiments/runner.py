@@ -59,12 +59,20 @@ class ExperimentConfig:
             validated by the placer's factory.
         fail_fast: abort the sweep on the first raising trial instead of
             capturing it into the record (keep-going is the default).
-        max_retries: retry waves the ``subprocess-pool`` backend runs for
-            trials whose worker died (ignored by in-process backends,
-            which cannot lose workers).
+        max_retries: retry waves the ``subprocess-pool`` and ``remote``
+            backends run for trials whose worker died (ignored by
+            in-process backends, which cannot lose workers).
         chunk_timeout_s: per-worker wall-clock budget of the
             ``subprocess-pool`` backend; hung workers are killed and their
             finished trials salvaged.  Only valid with that backend.
+        endpoints: worker endpoints of the ``remote`` backend
+            (``http://host:port`` for running workers, ``ssh://host:port``
+            to launch them); empty, the backend spawns a localhost pool of
+            ``workers`` processes.  Only valid with that backend.
+        heartbeat_timeout_s: lease heartbeat deadline of the ``remote``
+            backend — a leased worker that streams no record for this long
+            is probed, its finished trials salvaged, and the rest
+            re-enqueued.  Only valid with that backend.
 
     Placer names (including the baseline) accept the registry's aliases
     (``choreo-optimal`` for ``ilp``) and are canonicalised on construction,
@@ -84,6 +92,8 @@ class ExperimentConfig:
     fail_fast: bool = False
     max_retries: int = 2
     chunk_timeout_s: Optional[float] = None
+    endpoints: Tuple[str, ...] = ()
+    heartbeat_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -104,6 +114,31 @@ class ExperimentConfig:
                     "chunk_timeout_s only applies to the subprocess-pool "
                     f"backend, not {self.effective_backend!r}"
                 )
+        if self.heartbeat_timeout_s is not None:
+            if self.heartbeat_timeout_s <= 0:
+                raise ExperimentError(
+                    "heartbeat_timeout_s must be positive (or None)"
+                )
+            if self.effective_backend != "remote":
+                raise ExperimentError(
+                    "heartbeat_timeout_s only applies to the remote "
+                    f"backend, not {self.effective_backend!r}"
+                )
+        if self.endpoints:
+            if self.effective_backend != "remote":
+                raise ExperimentError(
+                    "endpoints only apply to the remote backend, not "
+                    f"{self.effective_backend!r}"
+                )
+            object.__setattr__(
+                self, "endpoints", tuple(str(spec) for spec in self.endpoints)
+            )
+            # Parse up front so a typo'd endpoint fails here, not after the
+            # grid's cache pass inside the backend.
+            from repro.experiments.worker import parse_endpoint
+
+            for spec in self.endpoints:
+                parse_endpoint(spec)
         # Canonicalise placer aliases up front through the registry facade
         # (frozen dataclass, hence object.__setattr__): every consumer
         # downstream — records, cache keys, summaries — then agrees on the
@@ -174,15 +209,30 @@ class ExperimentConfig:
     def backend_options(self) -> Dict[str, object]:
         """Backend-specific options derived from the config.
 
-        Only the ``subprocess-pool`` backend takes options today; the
-        in-process backends reject any, so this stays empty for them.
+        The ``subprocess-pool`` and ``remote`` backends take options; the
+        in-process backends reject any, so this stays empty for them.  The
+        remote backend's backoff jitter is seeded from ``base_seed``, so a
+        sweep that loses workers retries on the same schedule every run,
+        and its workers share the runner's store via ``store_root``.
         """
-        if self.effective_backend != "subprocess-pool":
-            return {}
-        options: Dict[str, object] = {"max_retries": self.max_retries}
-        if self.chunk_timeout_s is not None:
-            options["chunk_timeout_s"] = self.chunk_timeout_s
-        return options
+        if self.effective_backend == "subprocess-pool":
+            options: Dict[str, object] = {"max_retries": self.max_retries}
+            if self.chunk_timeout_s is not None:
+                options["chunk_timeout_s"] = self.chunk_timeout_s
+            return options
+        if self.effective_backend == "remote":
+            options = {
+                "max_retries": self.max_retries,
+                "backoff_seed": self.base_seed,
+            }
+            if self.endpoints:
+                options["endpoints"] = list(self.endpoints)
+            if self.heartbeat_timeout_s is not None:
+                options["heartbeat_timeout_s"] = self.heartbeat_timeout_s
+            if self.cache_dir:
+                options["store_root"] = self.cache_dir
+            return options
+        return {}
 
 
 @dataclass(frozen=True)
@@ -297,6 +347,13 @@ class ExperimentRunner:
                 memo[key] = record
                 if self.store is not None:
                     self.store.put(self._store_key(item), record)
+            if self.store is not None:
+                # Persist observed per-cell costs for the next sweep's
+                # cost-aware chunking (remote backend).  Remote workers
+                # already wrote these cells themselves (same keys, same
+                # bytes modulo wall clocks) — the re-put above is a benign
+                # last-writer-wins on a content-addressed cell.
+                self.store.flush_costs()
 
         self.last_stats = RunStats(
             backend=config.effective_backend,

@@ -609,9 +609,9 @@ def _build_service_churn(
         "VMs are preempted mid-session (their tasks re-placed via the "
         "migration engine), links degrade (targeted re-measurement), and "
         "probes are lost (the measurer retries, then coasts on forecasts). "
-        "Sweep `faults` (random-preempt / link-flap / lossy-probes) to "
-        "stress the self-healing control loop; seeded, so reruns are "
-        "bit-identical."
+        "Sweep `faults` (random-preempt / rack-outage / link-flap / "
+        "lossy-probes) to stress the self-healing control loop; seeded, "
+        "so reruns are bit-identical."
     ),
     tags=("ec2", "service", "faults"),
     defaults={

@@ -134,6 +134,31 @@ class WorkItem:
     def seed(self) -> int:
         return trial_seed(self.base_seed, self.scenario, self.trial)
 
+    @property
+    def trial_key(self) -> Tuple:
+        """Identity of the simulation this item runs (``fail_fast`` aside).
+
+        Mirrors the runner's memo key and the cache key's payload: two
+        items with equal ``trial_key`` compute the identical record, which
+        is what lets the remote backend discard duplicate records when a
+        straggler's trials were re-dispatched and both workers finished.
+        """
+        return (
+            self.scenario, self.params, self.placer, self.placer_params,
+            self.trial, self.seed,
+        )
+
+    @property
+    def cost_key(self) -> Tuple[str, str]:
+        """The cost-model cell this item bills to.
+
+        Observed trial wall clock clusters by ``(scenario, placer)`` — an
+        ilp cell costs orders of magnitude more than a random-placer cell
+        on the same scenario — so that pair is the granularity the result
+        store's cost table and the remote backend's chunker work at.
+        """
+        return (self.scenario, self.placer)
+
     def run(self) -> TrialRecord:
         """Execute this cell in the current process."""
         return run_trial(

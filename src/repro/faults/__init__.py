@@ -6,8 +6,8 @@ for the model and docs/faults.md for the tour):
 - :class:`FaultTimeline` plus the event types
   :class:`LinkDegradation` / :class:`VmPreemption` / :class:`ProbeLoss`;
 - :func:`generate_faults` with the seeded generators named by
-  :data:`FAULT_NAMES` (``none`` / ``random-preempt`` / ``link-flap`` /
-  ``lossy-probes``);
+  :data:`FAULT_NAMES` (``none`` / ``random-preempt`` / ``rack-outage`` /
+  ``link-flap`` / ``lossy-probes``);
 - :func:`attach_faults` to hook a timeline onto a provider.
 """
 

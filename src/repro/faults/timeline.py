@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -395,6 +395,55 @@ def _faults_random_preempt(vms, n_epochs, rng, strength, epoch_s):
     return events
 
 
+#: VMs per pseudo-rack when a caller has no topology to hand (allocation
+#: order is the best rack proxy available: providers fill hosts in order).
+_PSEUDO_RACK_SIZE = 4
+
+
+def _faults_rack_outage(vms, n_epochs, rng, strength, epoch_s, racks=None):
+    """Take out whole top-of-rack switches: correlated VM preemptions.
+
+    Unlike ``random-preempt``, failures here are *correlated* — every VM
+    under a dying ToR is preempted inside the same epoch window (with
+    per-VM offsets, as preemption notices do not land simultaneously).
+    ``strength`` is the fraction of racks lost.  At least one rack always
+    survives, and a rack whose loss would leave fewer than
+    :data:`_MIN_SURVIVORS` VMs alive is spared, so placement stays
+    possible and the healing loop has somewhere to go.
+
+    ``racks`` maps VM name -> rack identity; without it, VMs are grouped
+    into pseudo-racks of :data:`_PSEUDO_RACK_SIZE` in allocation order.
+    """
+    if n_epochs < 2:
+        return []
+    by_rack: Dict[str, List[str]] = {}
+    if racks:
+        for vm in vms:
+            by_rack.setdefault(str(racks.get(vm, "unracked")), []).append(vm)
+    else:
+        for i, vm in enumerate(vms):
+            by_rack.setdefault(f"pseudo-rack-{i // _PSEUDO_RACK_SIZE}", []).append(vm)
+    rack_names = sorted(by_rack)
+    if len(rack_names) < 2:
+        return []  # one rack: an outage would be a cluster outage
+    n_out = min(max(1, round(strength * len(rack_names))), len(rack_names) - 1)
+    doomed = rng.choice(len(rack_names), size=n_out, replace=False)
+    events: List[FaultEvent] = []
+    survivors = set(vms)
+    for rack_idx in sorted(int(i) for i in doomed):
+        members = by_rack[rack_names[rack_idx]]
+        if len(survivors) - len(members) < _MIN_SURVIVORS:
+            continue  # this rack is too big to lose; try the next victim
+        epoch = int(rng.integers(1, n_epochs))
+        for vm in sorted(members):
+            offset = float(rng.uniform(0.25, 0.75))
+            events.append(
+                VmPreemption(vm=vm, time_s=(epoch + offset) * epoch_s)
+            )
+            survivors.discard(vm)
+    return events
+
+
 def _faults_link_flap(vms, n_epochs, rng, strength, epoch_s):
     """Give a ``strength`` fraction of VMs one or two degraded intervals."""
     n_flappy = min(max(1, round(strength * len(vms))), len(vms))
@@ -443,14 +492,19 @@ def _faults_lossy_probes(vms, n_epochs, rng, strength, epoch_s):
 _FAULTS: Dict[str, FaultGenerator] = {
     "none": _faults_none,
     "random-preempt": _faults_random_preempt,
+    "rack-outage": _faults_rack_outage,
     "link-flap": _faults_link_flap,
     "lossy-probes": _faults_lossy_probes,
 }
 
-#: Per-generator default ``strength`` (fraction of VMs / pairs affected).
+#: Generators that understand a VM -> rack mapping.
+_RACK_AWARE = frozenset({"rack-outage"})
+
+#: Per-generator default ``strength`` (fraction of VMs / pairs / racks).
 _DEFAULT_STRENGTH: Dict[str, float] = {
     "none": 0.0,
     "random-preempt": 0.2,
+    "rack-outage": 0.34,
     "link-flap": 0.3,
     "lossy-probes": 0.12,
 }
@@ -465,8 +519,13 @@ def generate_faults(
     seed: int = 0,
     strength: Optional[float] = None,
     epoch_s: float = 3600.0,
+    racks: Optional[Mapping[str, str]] = None,
 ) -> FaultTimeline:
     """Generate a seeded :class:`FaultTimeline` for ``vms``.
+
+    ``racks`` (VM name -> rack identity) feeds rack-aware generators such
+    as ``rack-outage``; others ignore it.  Without a mapping those
+    generators fall back to pseudo-racks in allocation order.
 
     Raises:
         FaultError: unknown generator, bad strength, or n_epochs < 1.
@@ -486,7 +545,12 @@ def generate_faults(
     if strength == 0.0 or faults == "none":
         return FaultTimeline(events=(), generator=faults)
     rng = np.random.default_rng(seed)
-    events = _FAULTS[faults](list(vms), n_epochs, rng, strength, epoch_s)
+    if faults in _RACK_AWARE:
+        events = _FAULTS[faults](
+            list(vms), n_epochs, rng, strength, epoch_s, racks=racks
+        )
+    else:
+        events = _FAULTS[faults](list(vms), n_epochs, rng, strength, epoch_s)
     return FaultTimeline(events=tuple(events), generator=faults)
 
 

@@ -118,6 +118,12 @@ def build_churn_session(
         # Fault events land inside the admission horizon (not the drain
         # tail): a preemption after the last arrival still exercises
         # recovery, but one after the drain would be unobservable.
+        # Rack identities come from the provider's topology so correlated
+        # generators (rack-outage) take out exactly the VMs behind one ToR.
+        racks = {
+            vm.name: provider.topology.rack_of(vm.host) or vm.host
+            for vm in provider.vms()
+        }
         fault_timeline = generate_faults(
             [vm.name for vm in provider.vms()],
             n_epochs=max(2, int(round(hours))),
@@ -125,6 +131,7 @@ def build_churn_session(
             seed=seed ^ _FAULT_SEED_SALT,
             strength=fault_strength,
             epoch_s=timeline.epoch_s,
+            racks=racks,
         )
     if not fault_timeline.is_empty:
         attach_faults(provider, fault_timeline)

@@ -26,7 +26,7 @@ from repro.experiments.backends import SubprocessPoolBackend, _split_chunks
 from repro.experiments.cache import CacheKey
 from repro.experiments.cli import main as cli_main
 
-ALL_BACKENDS = ("inline", "process", "subprocess-pool")
+ALL_BACKENDS = ("inline", "process", "remote", "subprocess-pool")
 
 
 def _small_config(**overrides):
@@ -42,7 +42,7 @@ def _small_config(**overrides):
 
 
 # ---------------------------------------------------------------- registry
-def test_backend_registry_lists_all_three():
+def test_backend_registry_lists_all_backends():
     assert list(ALL_BACKENDS) == sorted(ALL_BACKENDS)
     for name in ALL_BACKENDS:
         assert name in backend_names()

@@ -137,7 +137,7 @@ def test_trace_read_errors_name_the_file(tmp_path):
 # --------------------------------------------------------------- generators
 def test_generators_are_deterministic_and_registered():
     assert set(FAULT_NAMES) == {
-        "none", "random-preempt", "link-flap", "lossy-probes",
+        "none", "random-preempt", "rack-outage", "link-flap", "lossy-probes",
     }
     vms = [f"vm{i}" for i in range(1, 9)]
     for name in FAULT_NAMES:
@@ -157,6 +157,77 @@ def test_random_preempt_never_kills_below_min_survivors():
     )
     preempted = {e.vm for e in timeline.events}
     assert len(vms) - len(preempted) >= 3
+
+
+def test_rack_outage_takes_whole_racks_in_one_epoch_window():
+    vms = [f"vm{i}" for i in range(12)]
+    racks = {vm: f"rack-{i // 4}" for i, vm in enumerate(vms)}
+    timeline = generate_faults(
+        vms, n_epochs=6, faults="rack-outage", seed=3, racks=racks,
+        epoch_s=100.0,
+    )
+    assert not timeline.is_empty
+    by_rack = {}
+    for event in timeline.events:
+        assert isinstance(event, VmPreemption)
+        by_rack.setdefault(racks[event.vm], []).append(event)
+    for rack, events in by_rack.items():
+        # Correlated: every VM behind the dying ToR goes, and all inside
+        # the same epoch window (per-VM offsets within it).
+        assert len(events) == 4, f"{rack} lost only {len(events)} of 4 VMs"
+        assert len({int(e.time_s // 100.0) for e in events}) == 1
+
+
+def test_rack_outage_always_spares_a_rack_and_min_survivors():
+    vms = [f"vm{i}" for i in range(12)]
+    racks = {vm: f"rack-{i // 4}" for i, vm in enumerate(vms)}
+    timeline = generate_faults(
+        vms, n_epochs=6, faults="rack-outage", seed=3, strength=10.0,
+        racks=racks,
+    )
+    dead_racks = {racks[e.vm] for e in timeline.events}
+    assert len(dead_racks) < len(set(racks.values()))
+    assert len(vms) - len({e.vm for e in timeline.events}) >= 3
+
+
+def test_rack_outage_pseudo_rack_fallback_and_determinism():
+    vms = [f"vm{i}" for i in range(8)]
+    a = generate_faults(vms, n_epochs=4, faults="rack-outage", seed=9)
+    b = generate_faults(vms, n_epochs=4, faults="rack-outage", seed=9)
+    assert a.events == b.events and not a.is_empty
+    # A single rack (or fewer VMs than one pseudo-rack) is never taken out.
+    tiny = generate_faults(vms[:3], n_epochs=4, faults="rack-outage", seed=9)
+    assert tiny.is_empty
+
+
+def test_rack_outage_churn_session_preempts_one_tor():
+    provider, _, _, _ = build_churn_session(
+        0, n_vms=8, hours=3.0, epoch_s=60.0,
+        faults="rack-outage", fault_strength=0.3,
+    )
+    timeline = provider.fault_timeline
+    assert not timeline.is_empty
+    racks = {
+        vm.name: provider.topology.rack_of(vm.host) for vm in provider.vms()
+    }
+    dead_racks = {racks[e.vm] for e in timeline.events}
+    live_racks = set(racks.values()) - dead_racks
+    assert dead_racks and live_racks
+    # Whole racks die: every VM sharing a dead ToR is preempted.
+    preempted = {e.vm for e in timeline.events}
+    for vm, rack in racks.items():
+        assert (rack in dead_racks) == (vm in preempted)
+
+
+def test_rack_outage_fault_churn_scenario_runs():
+    from repro.experiments.trials import run_trial
+
+    params = {
+        "n_vms": 6, "hours": 2, "epoch_s": 120.0,
+        "faults": "rack-outage", "fault_strength": 0.4,
+    }
+    rec = run_trial("fault-churn", "greedy", 0, 0, params)
+    assert rec.status == "ok", rec.error
 
 
 def test_unknown_generator_and_foreign_vms_fail():
