@@ -105,7 +105,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (``python -m repro.bench``); exit code."""
+    from repro import obs
+
     args = _build_parser().parse_args(argv)
+    obs.apply_observability_args(args)
     return args.handler(args)
 
 

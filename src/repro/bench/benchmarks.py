@@ -53,6 +53,13 @@ TARGET_MULTI_WORKER_SPEEDUP = 2.0
 #: fleet pass may not sit out more than this fraction of the makespan.
 MAX_WORKER_IDLE_FRACTION = 0.6
 
+#: Telemetry overhead budgets (the ``obs`` bench): with tracing *disabled*
+#: — the production default, no-op spans plus live counters — the
+#: ``fluid_loop`` workload may cost at most 2% over a stubbed-out baseline;
+#: with tracing *enabled* it may cost at most 10%.
+MAX_OBS_DISABLED_OVERHEAD = 0.02
+MAX_OBS_ENABLED_OVERHEAD = 0.10
+
 
 def _env_params() -> Dict[str, object]:
     """Environment facts a reader needs to interpret the timings: library
@@ -1566,6 +1573,198 @@ def bench_scale(
 
 
 # ---------------------------------------------------------------------------
+# Telemetry overhead (repro.obs)
+# ---------------------------------------------------------------------------
+def _stub_telemetry() -> Callable[[], None]:
+    """Patch the ``repro.obs`` hooks to near-zero stubs; returns an undo.
+
+    The pre-instrumentation code no longer exists, so the baseline the
+    overhead ratios divide by is approximated by swapping every hook the
+    hot paths call — ``obs.span``/``obs.point`` and the instrument update
+    methods — for do-nothing stand-ins.  What remains in a stubbed run is
+    one Python call per site, the floor any instrumentation scheme pays.
+    """
+    from repro import obs
+    from repro.obs.metrics import Counter, Gauge, Histogram
+
+    class _Null:
+        __slots__ = ()
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def set(self, **attrs):
+            return None
+
+    null = _Null()
+    saved = (
+        obs.span, obs.point,
+        Counter.inc, Gauge.set, Gauge.inc, Gauge.dec, Histogram.observe,
+    )
+    obs.span = lambda name, **attrs: null
+    obs.point = lambda name, **attrs: None
+    Counter.inc = lambda self, amount=1.0: None
+    Gauge.set = lambda self, value: None
+    Gauge.inc = lambda self, amount=1.0: None
+    Gauge.dec = lambda self, amount=1.0: None
+    Histogram.observe = lambda self, value: None
+
+    def undo() -> None:
+        (obs.span, obs.point, Counter.inc, Gauge.set, Gauge.inc,
+         Gauge.dec, Histogram.observe) = saved
+
+    return undo
+
+
+def bench_obs(
+    pods: int = 8,
+    racks_per_pod: int = 8,
+    hosts_per_rack: int = 16,
+    num_cores: int = 4,
+    p_flow: float = 0.10,
+    repeats: int = 7,
+    inner: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Telemetry overhead on the ``fluid_loop`` workload, three ways.
+
+    Times the same rack-mesh fluid simulation (the ``fluid_loop`` bench's
+    workload, production event loop and allocator) under three telemetry
+    states:
+
+    * ``baseline`` — obs hooks stubbed out (:func:`_stub_telemetry`),
+      approximating the pre-instrumentation code;
+    * ``disabled`` — tracing off, the production default: no-op spans plus
+      live counters;
+    * ``enabled`` — tracing spans to a JSONL file.
+
+    Rounds are interleaved (baseline, disabled, enabled, repeat) so slow
+    machine drift hits all three states equally; each state keeps its best
+    (minimum) round of ``inner`` summed runs, and the garbage collector is
+    paused across the timed region (collections landing in one state's
+    sample would drown the ≤2% budget).  ``matched`` asserts the
+    three states' results are bit-identical — tracing is pure observation
+    — and that the enabled pass actually wrote trace events.  The floors
+    bound the overhead: disabled ≤ 2% and enabled ≤ 10% over baseline,
+    exposed as *headroom* values ``(1 + budget) / ratio`` so the generic
+    ``targets`` machinery (which checks ``value >= floor``) applies with a
+    floor of 1.0.
+    """
+    from repro import obs
+    from repro.net.topology import TreeSpec, build_multi_rooted_tree
+
+    spec = TreeSpec(
+        pods=pods, racks_per_pod=racks_per_pod,
+        hosts_per_rack=hosts_per_rack, num_cores=num_cores,
+    )
+    topo = build_multi_rooted_tree(spec)
+    flows = _tree_rack_flows(topo, hosts_per_rack, seed, p_flow)
+
+    def run_once():
+        sim = FluidSimulation(topo)
+        sim.add_flows(flows)
+        started = time.perf_counter()
+        result = sim.run()
+        return time.perf_counter() - started, result
+
+    def timed_sample():
+        elapsed, result = 0.0, None
+        for _ in range(inner):
+            wall, result = run_once()
+            elapsed += wall
+        return elapsed, result
+
+    run_once()  # warm the route cache before any timed state
+
+    prior_trace = obs.trace_path()
+    best: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+
+    def record(state: str, elapsed: float, result) -> None:
+        if state not in best or elapsed < best[state]:
+            best[state] = elapsed
+        results[state] = result
+
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        trace_file = os.path.join(tmp, "trace.jsonl")
+        try:
+            gc.collect()
+            gc.disable()
+            for _ in range(repeats):
+                undo = _stub_telemetry()
+                try:
+                    elapsed, result = timed_sample()
+                finally:
+                    undo()
+                record("baseline", elapsed, result)
+
+                obs.configure(None, export_env=False)
+                record("disabled", *timed_sample())
+
+                obs.configure(trace_file, export_env=False)
+                try:
+                    record("enabled", *timed_sample())
+                finally:
+                    obs.configure(None, export_env=False)
+                gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            obs.configure(prior_trace, export_env=False)
+        with open(trace_file, encoding="utf-8") as fh:
+            trace_events = sum(1 for _ in fh)
+
+    baseline_s = best["baseline"]
+    disabled_ratio = best["disabled"] / baseline_s if baseline_s else None
+    enabled_ratio = best["enabled"] / baseline_s if baseline_s else None
+    matched = (
+        _fluid_results_identical(results["baseline"], results["disabled"])
+        and _fluid_results_identical(results["disabled"], results["enabled"])
+        and trace_events > 0
+    )
+    return {
+        "name": "obs",
+        "params": {
+            "pods": pods, "racks_per_pod": racks_per_pod,
+            "hosts_per_rack": hosts_per_rack, "num_cores": num_cores,
+            "p_flow": p_flow, "repeats": repeats, "inner": inner,
+            "n_hosts": len(topo.hosts()),
+            **_env_params(),
+        },
+        "n_flows": len(flows),
+        "trace_events": trace_events,
+        "baseline_s": round(baseline_s, 6),
+        "disabled_s": round(best["disabled"], 6),
+        "enabled_s": round(best["enabled"], 6),
+        "disabled_overhead_ratio": (
+            round(disabled_ratio, 4) if disabled_ratio is not None else None
+        ),
+        "enabled_overhead_ratio": (
+            round(enabled_ratio, 4) if enabled_ratio is not None else None
+        ),
+        "disabled_overhead_max": MAX_OBS_DISABLED_OVERHEAD,
+        "enabled_overhead_max": MAX_OBS_ENABLED_OVERHEAD,
+        "disabled_headroom": (
+            round((1.0 + MAX_OBS_DISABLED_OVERHEAD) / disabled_ratio, 4)
+            if disabled_ratio
+            else None
+        ),
+        "enabled_headroom": (
+            round((1.0 + MAX_OBS_ENABLED_OVERHEAD) / enabled_ratio, 4)
+            if enabled_ratio
+            else None
+        ),
+        "matched": matched,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
@@ -1583,6 +1782,7 @@ _BENCHES: Dict[str, Callable[..., Dict[str, object]]] = {
     "multi_worker": bench_multi_worker,
     "service_churn": bench_service_churn,
     "faults": bench_faults,
+    "obs": bench_obs,
 }
 
 _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
@@ -1606,14 +1806,19 @@ _QUICK_OVERRIDES: Dict[str, Dict[str, object]] = {
     "multi_worker": {"quick": True},
     "service_churn": {"quick": True},
     "faults": {"quick": True},
+    "obs": {
+        "pods": 2, "racks_per_pod": 2, "hosts_per_rack": 8,
+        "num_cores": 2, "p_flow": 0.5, "repeats": 2,
+    },
 }
 
 
 #: Benches run when no ``--only`` subset is given.  ``sweep_resume``,
-#: ``multi_worker``, ``ilp_scale``, ``service_churn``, and ``faults`` are
-#: opt-in: each is tracked in its own ``BENCH_*.json`` (``BENCH_sweeps.json``
-#: / ``BENCH_ilp.json`` / ``BENCH_service.json`` / ``BENCH_faults.json``,
-#: see docs/performance.md) and run as a dedicated CI step, so the default
+#: ``multi_worker``, ``ilp_scale``, ``service_churn``, ``faults``, and
+#: ``obs`` are opt-in: each is tracked in its own ``BENCH_*.json``
+#: (``BENCH_sweeps.json`` / ``BENCH_ilp.json`` / ``BENCH_service.json`` /
+#: ``BENCH_faults.json`` / ``BENCH_obs.json``, see docs/performance.md and
+#: docs/observability.md) and run as a dedicated CI step, so the default
 #: suite does not pay for (or duplicate) them.
 DEFAULT_SUITE: Tuple[str, ...] = (
     "allocator", "fluid", "greedy", "mesh", "e2e", "scale",
@@ -1639,6 +1844,11 @@ _TARGET_FLOORS: Tuple[Tuple[str, str, float, Tuple[str, ...]], ...] = (
     ("sweep_resume", "resume_speedup", TARGET_RESUME_SPEEDUP, ("speedup",)),
     ("multi_worker", "multi_worker_parallelism", TARGET_MULTI_WORKER_SPEEDUP,
      ("scheduled_parallelism",)),
+    # Telemetry overhead headrooms: (1 + budget) / measured ratio, so the
+    # generic >= check bounds the ratio from above (1.0 = exactly on
+    # budget, above 1.0 = under budget).
+    ("obs", "obs_disabled_headroom", 1.0, ("disabled_headroom",)),
+    ("obs", "obs_enabled_headroom", 1.0, ("enabled_headroom",)),
 )
 
 

@@ -16,7 +16,10 @@ everywhere:
 * ``--jobs N``     — worker processes (``--workers`` is an accepted alias);
 * ``--output PATH``— where the JSON artifact goes (``''`` disables it);
 * ``--param KEY=VALUE`` — *builder* parameter override (scenario parameters
-  for experiments, session parameters for the service); repeatable.
+  for experiments, session parameters for the service); repeatable;
+* ``--trace PATH`` / ``--log-level`` / ``-v`` — the observability flags
+  (:func:`repro.obs.add_observability_flags`), on every subcommand that
+  takes the common parent.
 
 Parameter conventions (the one documented home):
 
@@ -159,6 +162,9 @@ def common_parser(
             help="per-placer construction override, e.g. ilp:time_limit_s=5 "
             "or greedy:cluster_threshold=64 (repeatable; aliases accepted)",
         )
+    from repro import obs
+
+    obs.add_observability_flags(parent)
     return parent
 
 
@@ -206,7 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro``; returns a process exit code."""
+    from repro import obs
+
     args = build_parser().parse_args(argv)
+    obs.apply_observability_args(args)
     try:
         return args.handler(args)
     except ReproError as exc:

@@ -15,12 +15,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.measurement.cross_traffic import estimate_cross_traffic
 from repro.core.measurement.packet_train import estimate_throughput
 from repro.core.network_profile import NetworkProfile
 from repro.errors import MeasurementError
 from repro.net.packets import PacketTrainSpec
 from repro.cloud.provider import CloudProvider, VMFlow
+
+
+#: Campaign counters (``obs.metrics.snapshot()`` under ``repro.measure.*``):
+#: campaigns run, pairs probed, probe retries, pairs degraded after
+#: exhausting their retries.
+_CAMPAIGNS = obs.Counter("repro.measure.campaigns_run")
+_PROBES = obs.Counter("repro.measure.probes")
+_RETRIES = obs.Counter("repro.measure.probe_retries")
+_DEGRADED = obs.Counter("repro.measure.probes_degraded")
 
 
 #: Approximate per-pair overhead of collecting train results at a central
@@ -228,39 +238,61 @@ class NetworkMeasurer:
         rounds = self.schedule_rounds(names, pairs=pairs)
         round_time = self.per_pair_time_s()
         retry_time = 0.0
+        retries = 0
         retries_left = self.plan.probe_budget  # None == unlimited
-        for round_index, batch in enumerate(rounds):
-            probed_at = started_at + round_index * round_time
-            for src, dst in batch:
-                rate = None
-                attempt = 0
-                while True:
-                    try:
-                        rate = self.measure_pair(src, dst, background=background)
-                        break
-                    except MeasurementError as exc:
-                        out_of_budget = retries_left is not None and retries_left <= 0
-                        if attempt >= self.plan.max_retries or out_of_budget:
-                            reason = "probe budget exhausted" if out_of_budget \
-                                else f"{exc}"
-                            degraded[(src, dst)] = (
-                                f"{attempt + 1} probe(s) failed: {reason}"
+        n_pairs = sum(len(batch) for batch in rounds)
+        campaign = obs.span(
+            "measure.campaign",
+            vms=len(names),
+            pairs=n_pairs,
+            rounds=len(rounds),
+            method=self.plan.method,
+        )
+        with campaign:
+            for round_index, batch in enumerate(rounds):
+                probed_at = started_at + round_index * round_time
+                for src, dst in batch:
+                    rate = None
+                    attempt = 0
+                    while True:
+                        try:
+                            rate = self.measure_pair(
+                                src, dst, background=background
                             )
                             break
-                        retry_time += (
-                            self.plan.retry_backoff_s * (2.0 ** attempt)
-                            + round_time
+                        except MeasurementError as exc:
+                            out_of_budget = (
+                                retries_left is not None and retries_left <= 0
+                            )
+                            if attempt >= self.plan.max_retries or out_of_budget:
+                                reason = "probe budget exhausted" \
+                                    if out_of_budget else f"{exc}"
+                                degraded[(src, dst)] = (
+                                    f"{attempt + 1} probe(s) failed: {reason}"
+                                )
+                                break
+                            retry_time += (
+                                self.plan.retry_backoff_s * (2.0 ** attempt)
+                                + round_time
+                            )
+                            if retries_left is not None:
+                                retries_left -= 1
+                            attempt += 1
+                            retries += 1
+                    if rate is None:
+                        continue
+                    rates[(src, dst)] = max(rate, 1.0)
+                    pair_times[(src, dst)] = probed_at
+                    if self.plan.estimate_cross_traffic and rate > 0:
+                        cross[(src, dst)] = estimate_cross_traffic(
+                            rate, max(advertised, rate)
                         )
-                        if retries_left is not None:
-                            retries_left -= 1
-                        attempt += 1
-                if rate is None:
-                    continue
-                rates[(src, dst)] = max(rate, 1.0)
-                pair_times[(src, dst)] = probed_at
-                if self.plan.estimate_cross_traffic and rate > 0:
-                    cross[(src, dst)] = estimate_cross_traffic(rate, max(advertised, rate))
+            campaign.set(retries=retries, degraded=len(degraded))
 
+        _CAMPAIGNS.inc()
+        _PROBES.inc(n_pairs)
+        _RETRIES.inc(retries)
+        _DEGRADED.inc(len(degraded))
         duration = len(rounds) * round_time + retry_time
         if self.plan.advance_clock:
             self.provider.advance_time(duration)

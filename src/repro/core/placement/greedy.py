@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.network_profile import NetworkProfile
 from repro.core.placement.base import ClusterState, Placement, Placer, validate_placement
 from repro.core.rate_model import ConnectionLoad, EffectiveRateTable, effective_rate
@@ -236,6 +237,20 @@ class GreedyPlacer(Placer):
 
     # ------------------------------------------------------------------ API
     def place(
+        self,
+        app: Application,
+        cluster: ClusterState,
+        profile: Optional[NetworkProfile] = None,
+    ) -> Placement:
+        with obs.span(
+            "place.greedy",
+            app=app.name,
+            tasks=len(app.task_names),
+            machines=len(cluster.machine_names()),
+        ):
+            return self._place(app, cluster, profile)
+
+    def _place(
         self,
         app: Application,
         cluster: ClusterState,

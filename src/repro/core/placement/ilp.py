@@ -75,6 +75,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 from scipy import optimize, sparse
 
+from repro import obs
 from repro.core.estimator import estimate_completion_time
 from repro.core.network_profile import NetworkProfile
 from repro.core.placement.base import (
@@ -251,6 +252,21 @@ class OptimalPlacer(Placer):
         cluster: ClusterState,
         profile: Optional[NetworkProfile] = None,
     ) -> Placement:
+        with obs.span(
+            "place.ilp",
+            app=app.name,
+            tasks=len(app.task_names),
+            machines=len(cluster.machine_names()),
+            formulation=self.formulation,
+        ):
+            return self._place(app, cluster, profile)
+
+    def _place(
+        self,
+        app: Application,
+        cluster: ClusterState,
+        profile: Optional[NetworkProfile] = None,
+    ) -> Placement:
         if profile is None:
             raise PlacementError("the optimal placer needs a network profile")
         self.check_feasible(app, cluster)
@@ -264,11 +280,14 @@ class OptimalPlacer(Placer):
         incumbent: Optional[Placement] = None
         warm_bound: Optional[float] = None
         if self.warm_start:
-            incumbent = greedy_incumbent(app, cluster, profile, model=self.model)
-            if incumbent is not None:
-                warm_bound = estimate_completion_time(
-                    incumbent.assignments, app, profile, model=self.model
+            with obs.span("place.ilp.warm_start", app=app.name):
+                incumbent = greedy_incumbent(
+                    app, cluster, profile, model=self.model
                 )
+                if incumbent is not None:
+                    warm_bound = estimate_completion_time(
+                        incumbent.assignments, app, profile, model=self.model
+                    )
 
         n_tasks, n_machines = len(tasks), len(machines)
         if self.candidate_k == "auto":
@@ -295,16 +314,19 @@ class OptimalPlacer(Placer):
             ),
         }
 
-        if self.formulation == "dense":
-            placement = self._solve_dense(
-                app, cluster, profile, tasks, machines, pairs, volumes,
-                warm_bound, incumbent, stats,
-            )
-        else:
-            placement = self._solve_sparse(
-                app, cluster, profile, tasks, machines, pairs, volumes,
-                warm_bound, incumbent, stats,
-            )
+        with obs.span(
+            "place.ilp.solve", app=app.name, formulation=self.formulation
+        ):
+            if self.formulation == "dense":
+                placement = self._solve_dense(
+                    app, cluster, profile, tasks, machines, pairs, volumes,
+                    warm_bound, incumbent, stats,
+                )
+            else:
+                placement = self._solve_sparse(
+                    app, cluster, profile, tasks, machines, pairs, volumes,
+                    warm_bound, incumbent, stats,
+                )
 
         stats["solve_wall_s"] = round(time.perf_counter() - started, 6)
         stats["objective_s"] = estimate_completion_time(

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import os
 import random
 import subprocess
@@ -64,9 +65,25 @@ from typing import (
     runtime_checkable,
 )
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.experiments.results import TrialRecord
 from repro.experiments.trials import WorkItem, execute_work_item
+
+logger = logging.getLogger("repro.experiments.fabric")
+
+#: Fabric counters (``obs.metrics.snapshot()`` under ``repro.fabric.*``).
+#: They accumulate across every ``map_trials`` call in the process, while
+#: :attr:`RemoteBackend.last_fabric_stats` keeps the per-sweep view.
+_FABRIC_LEASES = obs.Counter("repro.fabric.leases")
+_FABRIC_SALVAGED = obs.Counter("repro.fabric.salvaged_records")
+_FABRIC_RETRY_WAVES = obs.Counter("repro.fabric.retry_waves")
+_FABRIC_RETRIED = obs.Counter("repro.fabric.retried_trials")
+_FABRIC_DUPLICATES = obs.Counter("repro.fabric.duplicates_discarded")
+_FABRIC_STRAGGLERS = obs.Counter("repro.fabric.stragglers_redispatched")
+_FABRIC_DEAD = obs.Counter("repro.fabric.workers_presumed_dead")
+_FABRIC_HUNG = obs.Counter("repro.fabric.leases_hung")
+_FABRIC_IDLE = obs.Gauge("repro.fabric.max_worker_idle_fraction")
 
 #: Wire-format schema the subprocess worker speaks.  v2 replaced the single
 #: output JSON document with JSON Lines (header, then one record per line,
@@ -343,6 +360,8 @@ class SubprocessPoolBackend:
         failures: List[str] = []
         for wave in range(self.max_retries + 1):
             failures = self._run_wave(items, missing, records, wave)
+            for failure in failures:
+                logger.info("subprocess-pool: %s", failure)
             missing = [i for i in range(len(items)) if i not in records]
             if not missing:
                 break
@@ -663,6 +682,22 @@ class RemoteBackend:
 
     # ------------------------------------------------------------- scheduling
     def _run(self, items: Sequence[WorkItem], clients: List) -> List[TrialRecord]:
+        sweep = obs.span(
+            "fabric.map_trials", trials=len(items), workers=len(clients)
+        )
+        with sweep:
+            result = self._run_leases(items, clients)
+            stats = self.last_fabric_stats
+            sweep.set(
+                leases=stats.get("leases", 0),
+                retry_waves=stats.get("retry_waves", 0),
+                salvaged=stats.get("salvaged_records", 0),
+            )
+        return result
+
+    def _run_leases(
+        self, items: Sequence[WorkItem], clients: List
+    ) -> List[TrialRecord]:
         cost_table = self._cost_table()
         stats: Dict[str, object] = {
             "workers": len(clients),
@@ -696,9 +731,15 @@ class RemoteBackend:
                     * (0.5 + rng.random())
                 )
                 stats["backoff_delays_s"].append(round(delay, 6))
+                logger.info(
+                    "fabric: retry wave %d for %d missing trial(s) after "
+                    "%.3fs backoff", wave, len(missing), delay,
+                )
                 time.sleep(delay)
                 stats["retry_waves"] += 1
                 stats["retried_trials"] += len(missing)
+                _FABRIC_RETRY_WAVES.inc()
+                _FABRIC_RETRIED.inc(len(missing))
             failures.extend(
                 self._run_wave(
                     items, missing, records, wave, clients, state, stats,
@@ -719,6 +760,7 @@ class RemoteBackend:
                 max(0.0, 1.0 - st["busy_s"] / makespan) for st in state
             ]
             stats["max_worker_idle_fraction"] = round(max(idle), 4)
+            _FABRIC_IDLE.set(stats["max_worker_idle_fraction"])
             # Total worker-busy time over makespan: how many workers the
             # scheduler kept fed *concurrently*.  Unlike wall-clock speedup
             # this measures the fabric, not the host — it stays ~fleet-sized
@@ -728,6 +770,14 @@ class RemoteBackend:
                 sum(st["busy_s"] for st in state) / makespan, 3
             )
         stats["failures"] = failures
+        logger.info(
+            "fabric: %d trial(s) over %d worker(s) in %d lease(s), "
+            "%d retry wave(s), %d salvaged, %d duplicate(s) discarded, "
+            "makespan %.2fs",
+            len(items), len(clients), stats["leases"], stats["retry_waves"],
+            stats["salvaged_records"], stats["duplicates_discarded"],
+            stats["makespan_s"],
+        )
         return [records[i] for i in range(len(items))]
 
     def _run_wave(
@@ -771,6 +821,7 @@ class RemoteBackend:
                     # first finisher won, this copy is identical (the trial
                     # key determines the record) and is discarded.
                     stats["duplicates_discarded"] += 1
+                    _FABRIC_DUPLICATES.inc()
                 else:
                     records[index] = record
                     merged += 1
@@ -778,12 +829,15 @@ class RemoteBackend:
                 lease.failure = "worker returned short"
             if lease.failure:
                 stats["salvaged_records"] += merged
-                failures.append(
+                _FABRIC_SALVAGED.inc(merged)
+                failure = (
                     f"wave {wave} {lease.lease_id} on "
                     f"{clients[lease.worker].address} "
                     f"({merged}/{len(lease.indices)} trial(s) salvaged): "
                     f"{lease.failure}"
                 )
+                logger.info("fabric: %s", failure)
+                failures.append(failure)
         return failures
 
     def _available_workers(
@@ -822,7 +876,17 @@ class RemoteBackend:
         lease = _Lease(f"lease-{next(lease_seq)}", worker, indices)
         lease.duplicate_of = duplicate_of
         stats["leases"] += 1
+        _FABRIC_LEASES.inc()
         client = clients[worker]
+        logger.debug(
+            "fabric: %s -> %s (%d trial(s)%s)",
+            lease.lease_id, client.address, len(indices),
+            f", duplicate of {duplicate_of}" if duplicate_of else "",
+        )
+        obs.point(
+            "fabric.lease", lease=lease.lease_id, trials=len(indices),
+            worker=client.address,
+        )
         payload = [items[i].to_json_dict() for i in indices]
 
         def run() -> None:
@@ -909,11 +973,23 @@ class RemoteBackend:
                         f"no record for {self.heartbeat_timeout_s:.1f}s and "
                         "/health unreachable (worker presumed dead)"
                     )
+                    _FABRIC_DEAD.inc()
+                    logger.info(
+                        "fabric: %s on %s missed its heartbeat; /health "
+                        "probe failed — worker presumed dead, lease revoked",
+                        lease.lease_id, clients[lease.worker].address,
+                    )
                 else:
                     state[lease.worker]["tainted"] = True
                     lease.failure = (
                         f"no record for {self.heartbeat_timeout_s:.1f}s "
                         "though /health answers (lease hung)"
+                    )
+                    _FABRIC_HUNG.inc()
+                    logger.info(
+                        "fabric: %s on %s missed its heartbeat but /health "
+                        "answers — lease hung, worker tainted",
+                        lease.lease_id, clients[lease.worker].address,
                     )
                 lease.cancel.set()
                 lease.last_progress = now  # one verdict per deadline
@@ -976,6 +1052,13 @@ class RemoteBackend:
             leases.append(duplicate)
             lease.redispatched = True
             stats["stragglers_redispatched"] += 1
+            _FABRIC_STRAGGLERS.inc()
+            logger.info(
+                "fabric: %s is straggling (%.1fs, threshold %.1fs); "
+                "re-dispatched its %d remaining trial(s) as %s",
+                lease.lease_id, now - lease.started, threshold,
+                len(remaining), duplicate.lease_id,
+            )
 
     def _cost_table(self) -> Dict:
         if not self.store_root:

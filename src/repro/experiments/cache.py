@@ -49,6 +49,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
+from repro import obs
 from repro.experiments.results import TrialRecord
 
 #: Schema tag written into every cell file.
@@ -166,7 +167,12 @@ class ResultStore:
     def __init__(self, root: Union[str, Path], version: Optional[str] = None):
         self.root = Path(root)
         self.version = version if version is not None else code_version()
-        self._stats = {"hits": 0, "misses": 0, "stored": 0, "invalidated": 0}
+        # Typed counters (thin-viewed by :attr:`stats`; aggregated
+        # process-wide by ``obs.metrics.snapshot()`` under ``repro.store.*``).
+        self._hits = obs.Counter("repro.store.hits")
+        self._misses = obs.Counter("repro.store.misses")
+        self._stored = obs.Counter("repro.store.stored")
+        self._invalidated = obs.Counter("repro.store.invalidated")
         # Per-writer identity: temp files and the cost sidecar embed it so
         # concurrent writers (other processes, other machines) never share
         # a file name.
@@ -205,7 +211,7 @@ class ResultStore:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
-            self._stats["misses"] += 1
+            self._misses.inc()
             return None
         # ValueError covers JSONDecodeError and UnicodeDecodeError alike.
         except (OSError, ValueError):
@@ -223,7 +229,7 @@ class ResultStore:
         except (KeyError, TypeError):
             self._invalidate(path)
             return None
-        self._stats["hits"] += 1
+        self._hits.inc()
         return record
 
     def put(self, key: CacheKey, record: TrialRecord) -> Path:
@@ -258,13 +264,13 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self._stats["stored"] += 1
+        self._stored.inc()
         self._record_cost(key, record)
         return path
 
     def _invalidate(self, path: Path) -> None:
-        self._stats["misses"] += 1
-        self._stats["invalidated"] += 1
+        self._misses.inc()
+        self._invalidated.inc()
         try:
             path.unlink()
         except OSError:
@@ -364,14 +370,24 @@ class ResultStore:
             # rmtree, not per-cell unlink: stale dirs may also hold .tmp
             # droppings from writes interrupted mid-put.
             shutil.rmtree(version_dir, ignore_errors=True)
-        self._stats["invalidated"] += removed
+        self._invalidated.inc(removed)
         return removed
 
     # ------------------------------------------------------------- inspection
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters: ``hits``, ``misses``, ``stored``, ``invalidated``."""
-        return dict(self._stats)
+        """Counters: ``hits``, ``misses``, ``stored``, ``invalidated``.
+
+        A thin view over this store's :class:`repro.obs.Counter`
+        instruments (process-wide aggregates live in
+        ``obs.metrics.snapshot()`` under ``repro.store.*``).
+        """
+        return {
+            "hits": self._hits.count,
+            "misses": self._misses.count,
+            "stored": self._stored.count,
+            "invalidated": self._invalidated.count,
+        }
 
     @staticmethod
     def _cell_files(version_dir: Path):

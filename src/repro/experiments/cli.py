@@ -145,9 +145,13 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         ),
     )
     run_cmd.add_argument(
+        "--stats", action="store_true",
+        help="print the full telemetry snapshot (obs.metrics: store, "
+        "allocator, fluid, measurement, fabric counters) after the run",
+    )
+    run_cmd.add_argument(
         "--cache-stats", action="store_true",
-        help="print the persistent store's hit/miss/stored/invalidated "
-        "counters after the run (needs --cache-dir)",
+        help="deprecated alias for --stats",
     )
     run_cmd.set_defaults(handler=_cmd_run)
 
@@ -287,8 +291,11 @@ def _print_run_summary(result: ExperimentResult) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenarios = _resolve_scenarios(args.scenario)
-    if args.cache_stats and not (args.cache_dir and not args.no_cache):
-        raise ExperimentError("--cache-stats needs --cache-dir (without --no-cache)")
+    show_stats = args.stats or args.cache_stats
+    if args.cache_stats:
+        print(
+            "note: --cache-stats is deprecated; use --stats", file=sys.stderr
+        )
     config = _make_config(
         scenarios, args.placers, args.trials, args.seed, args.jobs,
         args.baseline, args.param,
@@ -312,13 +319,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if config.cache_dir:
         line += f", {stats.cache_hits} cache hit(s) from {config.cache_dir}"
     print(line)
-    if args.cache_stats and runner.store is not None:
-        counters = runner.store.stats
-        print(
-            "store stats: "
-            f"hits={counters['hits']} misses={counters['misses']} "
-            f"stored={counters['stored']} invalidated={counters['invalidated']}"
-        )
+    if show_stats:
+        if runner.store is not None:
+            counters = runner.store.stats
+            print(
+                "store stats: "
+                f"hits={counters['hits']} misses={counters['misses']} "
+                f"stored={counters['stored']} invalidated={counters['invalidated']}"
+            )
+        from repro import obs
+
+        print("telemetry snapshot:")
+        for name, value in sorted(obs.metrics.snapshot().items()):
+            print(f"  {name} = {value}")
     failed = [rec for rec in result.records if not rec.ok]
     print(f"wrote {len(result.records)} trial record(s) to {path}")
     if failed:
@@ -383,7 +396,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (``python -m repro.experiments``); exit code."""
+    from repro import obs
+
     args = _build_parser().parse_args(argv)
+    obs.apply_observability_args(args)
     try:
         return args.handler(args)
     except ReproError as exc:

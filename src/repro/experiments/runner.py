@@ -15,6 +15,9 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import logging
+
+from repro import obs
 from repro.errors import ExperimentError
 from repro.experiments.backends import (
     DEFAULT_BACKEND,
@@ -260,6 +263,15 @@ class RunStats:
         }
 
 
+logger = logging.getLogger("repro.experiments.runner")
+
+#: Sweep counters (``obs.metrics.snapshot()`` under ``repro.sweep.*``).
+_SWEEP_RUNS = obs.Counter("repro.sweep.runs")
+_SWEEP_CELLS = obs.Counter("repro.sweep.cells")
+_SWEEP_EXECUTED = obs.Counter("repro.sweep.executed")
+_SWEEP_CACHE_HITS = obs.Counter("repro.sweep.cache_hits")
+
+
 class ExperimentRunner:
     """Executes a sweep grid through a backend, reusing cached results.
 
@@ -324,36 +336,55 @@ class ExperimentRunner:
         for cell in cells:
             unique.setdefault(self._cell_key(*cell), cell)
 
-        memo: Dict[Tuple, TrialRecord] = {}
-        pending: List[Tuple[Tuple, WorkItem]] = []
-        for key, cell in unique.items():
-            item = self._work_item(*cell)
-            cached = (
-                self.store.get(self._store_key(item)) if self.store else None
-            )
-            if cached is not None:
-                memo[key] = cached
-            else:
-                pending.append((key, item))
+        sweep = obs.span(
+            "experiments.run",
+            backend=config.effective_backend,
+            cells=len(cells),
+            unique_cells=len(unique),
+        )
+        with sweep:
+            memo: Dict[Tuple, TrialRecord] = {}
+            pending: List[Tuple[Tuple, WorkItem]] = []
+            for key, cell in unique.items():
+                item = self._work_item(*cell)
+                cached = (
+                    self.store.get(self._store_key(item)) if self.store else None
+                )
+                if cached is not None:
+                    memo[key] = cached
+                else:
+                    pending.append((key, item))
 
-        if pending:
-            backend = create_backend(
-                config.effective_backend,
-                workers=config.workers,
-                options=config.backend_options,
+            logger.info(
+                "sweep: %d cell(s), %d unique, %d from store, %d to execute "
+                "via %s backend",
+                len(cells), len(unique), len(unique) - len(pending),
+                len(pending), config.effective_backend,
             )
-            records = backend.map_trials([item for _, item in pending])
-            for (key, item), record in zip(pending, records):
-                memo[key] = record
+            if pending:
+                backend = create_backend(
+                    config.effective_backend,
+                    workers=config.workers,
+                    options=config.backend_options,
+                )
+                with obs.span(
+                    "experiments.map_trials",
+                    backend=config.effective_backend,
+                    trials=len(pending),
+                ):
+                    records = backend.map_trials([item for _, item in pending])
+                for (key, item), record in zip(pending, records):
+                    memo[key] = record
+                    if self.store is not None:
+                        self.store.put(self._store_key(item), record)
                 if self.store is not None:
-                    self.store.put(self._store_key(item), record)
-            if self.store is not None:
-                # Persist observed per-cell costs for the next sweep's
-                # cost-aware chunking (remote backend).  Remote workers
-                # already wrote these cells themselves (same keys, same
-                # bytes modulo wall clocks) — the re-put above is a benign
-                # last-writer-wins on a content-addressed cell.
-                self.store.flush_costs()
+                    # Persist observed per-cell costs for the next sweep's
+                    # cost-aware chunking (remote backend).  Remote workers
+                    # already wrote these cells themselves (same keys, same
+                    # bytes modulo wall clocks) — the re-put above is a benign
+                    # last-writer-wins on a content-addressed cell.
+                    self.store.flush_costs()
+            sweep.set(executed=len(pending))
 
         self.last_stats = RunStats(
             backend=config.effective_backend,
@@ -362,6 +393,10 @@ class ExperimentRunner:
             executed=len(pending),
             cache_hits=len(unique) - len(pending),
         )
+        _SWEEP_RUNS.inc()
+        _SWEEP_CELLS.inc(len(cells))
+        _SWEEP_EXECUTED.inc(len(pending))
+        _SWEEP_CACHE_HITS.inc(len(unique) - len(pending))
 
         records_out: List[TrialRecord] = []
         seen: set = set()

@@ -47,6 +47,7 @@ from dataclasses import asdict, dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.experiments.backends import (
     CHAOS_EXIT_STATUS,
@@ -162,22 +163,36 @@ class _WorkerState:
     def __init__(self, store: Optional[ResultStore] = None):
         self.store = store
         self.lock = threading.Lock()
+        self.started_at = time.monotonic()
         self.active_leases = 0
         self.leases_done = 0
         self.trials_done = 0
+        # Progress of the most recently started lease, for live /health:
+        # the scheduler (or a human) can watch a chunk advance mid-lease.
+        self.current_lease_id: Optional[str] = None
+        self.current_lease_total = 0
+        self.current_lease_done = 0
 
-    def lease_started(self) -> None:
+    def lease_started(self, lease_id: str, total: int) -> None:
         with self.lock:
             self.active_leases += 1
+            self.current_lease_id = lease_id
+            self.current_lease_total = total
+            self.current_lease_done = 0
 
-    def lease_done(self) -> None:
+    def lease_done(self, lease_id: str) -> None:
         with self.lock:
             self.active_leases -= 1
             self.leases_done += 1
+            if self.current_lease_id == lease_id:
+                self.current_lease_id = None
+                self.current_lease_total = 0
+                self.current_lease_done = 0
 
     def record_done(self, item: WorkItem, record) -> None:
         with self.lock:
             self.trials_done += 1
+            self.current_lease_done += 1
         if self.store is None:
             return
         key = self.store.key_for(
@@ -196,10 +211,20 @@ class _WorkerState:
                 "schema": WORKER_SCHEMA,
                 "status": "ok",
                 "pid": os.getpid(),
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
                 "busy": self.active_leases > 0,
                 "active_leases": self.active_leases,
                 "leases_done": self.leases_done,
                 "trials_done": self.trials_done,
+                "current_lease": (
+                    {
+                        "lease_id": self.current_lease_id,
+                        "trials_done": self.current_lease_done,
+                        "trials_total": self.current_lease_total,
+                    }
+                    if self.current_lease_id is not None
+                    else None
+                ),
             }
 
 
@@ -211,10 +236,23 @@ class _LeaseHandler(BaseHTTPRequestHandler):
         pass  # the scheduler owns reporting; workers stay quiet
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/health":
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        if self.path == "/health":
+            self._reply(200, self.server.worker_state.snapshot())
             return
-        self._reply(200, self.server.worker_state.snapshot())
+        if self.path == "/metrics":
+            # Prometheus text exposition of this worker process's live
+            # obs registry; answered from a fresh thread even mid-lease,
+            # like /health, so scrapes see trial counters advance.
+            body = obs.metrics.prometheus_text().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/shutdown":
@@ -260,7 +298,7 @@ class _LeaseHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/jsonl")
         self.end_headers()
-        state.lease_started()
+        state.lease_started(lease_id, len(items))
         try:
             self._send_line(
                 {"schema": WORKER_SCHEMA, "lease_id": lease_id, "pid": os.getpid()}
@@ -281,7 +319,7 @@ class _LeaseHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # the scheduler revoked the lease; stop burning its trials
         finally:
-            state.lease_done()
+            state.lease_done(lease_id)
 
     def _send_line(self, obj: Dict[str, object]) -> None:
         self.wfile.write((json.dumps(obj) + "\n").encode())
@@ -590,6 +628,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     store = ResultStore(args.cache_dir) if args.cache_dir else None
     server = WorkerServer((args.host, args.port), _WorkerState(store))
     host, port = server.server_address[:2]
+    # Stamp every trace event this worker emits with its fabric identity
+    # (the tracer itself is armed by an inherited REPRO_TRACE, if any).
+    os.environ.setdefault(obs.WORKER_ID_ENV, f"{host}:{port}")
     print(
         json.dumps(
             {

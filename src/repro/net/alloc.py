@@ -63,6 +63,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.net.fairness import FlowDemand
 
@@ -188,7 +189,11 @@ class IncrementalAllocator:
         self._have_rates = False
         self._dirty_links: Set[int] = set()
         self._dirty_linkless: Set[int] = set()
-        self._stats = {"full_solves": 0, "partial_solves": 0, "partial_slots": 0}
+        # Typed solve counters (thin-viewed by :meth:`solver_stats` and
+        # aggregated process-wide by ``obs.metrics.snapshot()``).
+        self._full_solves = obs.Counter("repro.alloc.full_solves")
+        self._partial_solves = obs.Counter("repro.alloc.partial_solves")
+        self._partial_slots = obs.Counter("repro.alloc.partial_slots")
 
     # ----------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -402,8 +407,17 @@ class IncrementalAllocator:
         return self._slot_rate
 
     def solver_stats(self) -> Dict[str, int]:
-        """Counters: full solves, partial solves, slots re-solved partially."""
-        return dict(self._stats)
+        """Counters: full solves, partial solves, slots re-solved partially.
+
+        A thin view over this instance's :class:`repro.obs.Counter`
+        instruments (the process-wide aggregate across allocators lives
+        in ``obs.metrics.snapshot()`` under ``repro.alloc.*``).
+        """
+        return {
+            "full_solves": self._full_solves.count,
+            "partial_solves": self._partial_solves.count,
+            "partial_slots": self._partial_slots.count,
+        }
 
     def _ensure_solved(self) -> None:
         """Run a (possibly partial) solve so ``_slot_rate`` is current."""
@@ -423,14 +437,23 @@ class IncrementalAllocator:
                 self._slot_rate[slot] = math.inf if cap is None else cap
             if partial:
                 self._solve_scalar(restrict=partial)
-            self._stats["partial_solves"] += 1
-            self._stats["partial_slots"] += len(partial)
+            self._partial_solves.inc()
+            self._partial_slots.inc(len(partial))
         else:
-            if self.uses_vector_path():
-                self._solve_vector()
-            else:
-                self._solve_scalar()
-            self._stats["full_solves"] += 1
+            # Full solves are rare and expensive enough to trace; partial
+            # re-solves run once per fluid event and get counters only.
+            vectorised = self.uses_vector_path()
+            with obs.span(
+                "alloc.solve",
+                mode="vector" if vectorised else "scalar",
+                flows=len(self._flow_slot),
+                links=len(self._link_ids),
+            ):
+                if vectorised:
+                    self._solve_vector()
+                else:
+                    self._solve_scalar()
+            self._full_solves.inc()
         self._dirty_links.clear()
         self._dirty_linkless.clear()
         self._solved = True

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.net.alloc import IncrementalAllocator
 from repro.net.fairness import FlowDemand, max_min_allocation
@@ -227,6 +228,13 @@ LOOP_AUTO = "auto"
 LOOP_SCALAR = "scalar"
 LOOP_VECTOR = "vector"
 
+#: Process-wide fluid-engine counters (``obs.metrics.snapshot()``):
+#: simulation runs and event-loop batches (one batch per allocate →
+#: advance → retire pass; batch counts accumulate locally and post once
+#: per run so the hot loop pays one integer add per batch).
+_FLUID_RUNS = obs.Counter("repro.fluid.runs")
+_FLUID_BATCHES = obs.Counter("repro.fluid.batches")
+
 _LOOPS = (LOOP_AUTO, LOOP_SCALAR, LOOP_VECTOR)
 
 _default_loop = LOOP_AUTO
@@ -406,9 +414,18 @@ class FluidSimulation:
                 if len(self._flows) >= _LOOP_MIN_FLOWS
                 else LOOP_SCALAR
             )
-        if loop == LOOP_VECTOR and self._allocator_mode != ALLOCATOR_REFERENCE:
-            return self._run_vector(until)
-        return self._run_scalar(until)
+        use_vector = (
+            loop == LOOP_VECTOR and self._allocator_mode != ALLOCATOR_REFERENCE
+        )
+        _FLUID_RUNS.inc()
+        with obs.span(
+            "fluid.run",
+            loop="vector" if use_vector else "scalar",
+            flows=len(self._flows),
+        ):
+            if use_vector:
+                return self._run_vector(until)
+            return self._run_scalar(until)
 
     def _run_scalar(self, until: Optional[float]) -> FluidResult:
         """The original per-flow Python event loop."""
@@ -443,6 +460,7 @@ class FluidSimulation:
         # Zero-byte flows complete instantly at their start time.
         now = min((f.start_time for f in flows.values()), default=0.0)
         end_time = now
+        batches = 0
 
         while True:
             # Activate flows whose start time has arrived.
@@ -472,6 +490,7 @@ class FluidSimulation:
                 end_time = until
                 break
 
+            batches += 1
             # Allocate rates for the active flows.  The incremental engine
             # only re-solves when the active set changed since the last
             # allocation; the reference path recomputes from scratch.
@@ -562,6 +581,7 @@ class FluidSimulation:
                 end_time = until
                 break
 
+        _FLUID_BATCHES.inc(batches)
         # Flows still pending or active when the run stops keep their state.
         for fid in flows:
             if states[fid] is FlowState.ACTIVE:
@@ -630,6 +650,7 @@ class FluidSimulation:
 
         now = min((f.start_time for f in flows.values()), default=0.0)
         end_time = now
+        batches = 0
 
         while True:
             # Activate flows whose start time has arrived.
@@ -674,6 +695,7 @@ class FluidSimulation:
                 end_time = until
                 break
 
+            batches += 1
             # Allocate rates and project the next event time.
             rate_vec = incremental.solve_slots()
             af = af_buf[:naf]
@@ -788,6 +810,7 @@ class FluidSimulation:
                 end_time = until
                 break
 
+        _FLUID_BATCHES.inc(batches)
         # Flush segments still open at the stop time and record the
         # remaining bytes of flows the run left active.
         for buf, count in ((af_buf, naf), (au_buf, nau)):

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro import obs
 from repro.errors import RoutingError, TopologyError
 from repro.net.links import (
     Link,
@@ -52,8 +53,10 @@ from repro.units import GBITPS
 _ROUTE_CACHE_MAX_ENTRIES = 262_144
 _route_cache: Dict[Tuple[str, str, str], List[str]] = {}
 _route_cache_enabled = True
-_route_cache_hits = 0
-_route_cache_misses = 0
+# Typed counters (thin-viewed by route_cache_info(); aggregated by
+# ``obs.metrics.snapshot()`` under ``repro.routes.*``).
+_route_cache_hits = obs.Counter("repro.routes.cache_hits")
+_route_cache_misses = obs.Counter("repro.routes.cache_misses")
 
 
 def set_route_cache_enabled(enabled: bool) -> bool:
@@ -66,18 +69,17 @@ def set_route_cache_enabled(enabled: bool) -> bool:
 
 def clear_route_cache() -> None:
     """Drop every entry (and reset the counters) of the shared routing cache."""
-    global _route_cache_hits, _route_cache_misses
     _route_cache.clear()
-    _route_cache_hits = 0
-    _route_cache_misses = 0
+    _route_cache_hits.value = 0
+    _route_cache_misses.value = 0
 
 
 def route_cache_info() -> Dict[str, int]:
     """Counters for the shared routing cache (entries, hits, misses)."""
     return {
         "entries": len(_route_cache),
-        "hits": _route_cache_hits,
-        "misses": _route_cache_misses,
+        "hits": _route_cache_hits.count,
+        "misses": _route_cache_misses.count,
         "enabled": int(_route_cache_enabled),
     }
 
@@ -95,7 +97,7 @@ def route_cache_info() -> Dict[str, int]:
 _STRUCTURED_ROUTER_MAX_ENTRIES = 1024
 _structured_routers: Dict[str, "_TreeRouter"] = {}
 _structured_routing_enabled = True
-_structured_route_hits = 0
+_structured_route_hits = obs.Counter("repro.routes.structured_hits")
 
 
 def set_structured_routing_enabled(enabled: bool) -> bool:
@@ -110,7 +112,7 @@ def structured_routing_info() -> Dict[str, int]:
     """Counters for the structured routing fast path."""
     return {
         "routers": len(_structured_routers),
-        "hits": _structured_route_hits,
+        "hits": _structured_route_hits.count,
         "enabled": int(_structured_routing_enabled),
     }
 
@@ -504,7 +506,6 @@ class Topology:
         the same pair always uses the same path, different pairs spread over
         the available cores.
         """
-        global _route_cache_hits, _route_cache_misses, _structured_route_hits
         if src == dst:
             return [src]
         key = (src, dst)
@@ -516,7 +517,7 @@ class Topology:
             if router is not None:
                 choice = router.node_path(src, dst)
                 if choice is not None:
-                    _structured_route_hits += 1
+                    _structured_route_hits.inc()
                     self._path_cache[key] = choice
                     return choice
         for node in (src, dst):
@@ -527,10 +528,10 @@ class Topology:
             shared_key = (self.structure_token(), src, dst)
             shared = _route_cache.get(shared_key)
             if shared is not None:
-                _route_cache_hits += 1
+                _route_cache_hits.inc()
                 self._path_cache[key] = shared
                 return shared
-            _route_cache_misses += 1
+            _route_cache_misses.inc()
         choice = _lazy_kth_shortest_path(self.graph, src, dst)
         if choice is None:
             raise RoutingError(f"no path between {src!r} and {dst!r}")

@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro.obs``.
+
+Trace analysis for the span tracer's JSONL files::
+
+    python -m repro.obs report trace.jsonl           # profile tree
+    python -m repro.obs report trace.jsonl --top 80  # deeper tree
+    python -m repro.obs report a.jsonl --diff b.jsonl  # A/B two traces
+
+The profile attributes every traced second to a span path (cumulative
+and self time), prints per-span-kind duration histograms, and in
+``--diff`` mode compares two traces span kind by span kind — the tool
+that turns a BENCH regression into a named hot span.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.report import build_profile, load_events, render_diff, render_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Analyse span traces produced by --trace / REPRO_TRACE.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="profile tree + duration histograms for a trace file",
+        description="Aggregate a JSONL span trace into a self-time/"
+        "cumulative-time profile tree.",
+    )
+    report.add_argument("trace", help="trace file written by --trace/REPRO_TRACE")
+    report.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="compare against a second trace instead of printing the tree "
+        "(OTHER is 'B', the positional trace is 'A')",
+    )
+    report.add_argument(
+        "--top", type=int, default=40, metavar="N",
+        help="maximum tree rows / diff rows to print (default 40)",
+    )
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    profile = build_profile(load_events(args.trace))
+    if args.diff:
+        other = build_profile(load_events(args.diff))
+        print(render_diff(profile, other, top=args.top))
+    else:
+        print(render_report(profile, top=args.top))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.obs``); exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

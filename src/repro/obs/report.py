@@ -1,0 +1,287 @@
+"""Trace analysis: turn a spans JSONL file into a profile.
+
+The profile aggregates spans by *call path* — the chain of span names
+from the root to the span, reconstructed from ``span``/``parent`` ids —
+and reports, per path:
+
+* ``count`` — how many spans ran at that path;
+* ``cum``   — cumulative wall time (sum of span durations);
+* ``self``  — cumulative time minus the time spent in direct children,
+  i.e. the time the span's own code consumed.
+
+``self`` sums to the total traced time across the tree, so the profile
+answers "where did the seconds go" without double counting.  Durations
+come from per-process monotonic clocks; spans from different processes
+(sweep workers) aggregate under the same paths but never nest across
+process boundaries.
+
+:func:`render_report` prints the tree plus per-span-kind duration
+histograms; :func:`render_diff` compares two profiles side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TraceError",
+    "Profile",
+    "load_events",
+    "build_profile",
+    "render_report",
+    "render_diff",
+]
+
+#: Log-scale bucket bounds for the duration histograms (seconds).
+_HISTO_BOUNDS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+)
+
+
+class TraceError(ReproError):
+    """A trace file is missing or malformed."""
+
+
+@dataclass
+class Profile:
+    """Aggregated view of one trace file."""
+
+    #: path (tuple of span names, root first) -> [count, cum_s, self_s]
+    paths: Dict[Tuple[str, ...], List[float]] = field(default_factory=dict)
+    #: span name -> list of durations (for histograms)
+    durations: Dict[str, List[float]] = field(default_factory=dict)
+    #: point-event name -> count
+    points: Dict[str, int] = field(default_factory=dict)
+    n_spans: int = 0
+    n_processes: int = 0
+
+    def by_name(self) -> Dict[str, Tuple[int, float, float]]:
+        """Collapse paths to (count, cum, self) per span name."""
+        out: Dict[str, List[float]] = {}
+        for path, (count, cum, self_s) in self.paths.items():
+            acc = out.setdefault(path[-1], [0, 0.0, 0.0])
+            acc[0] += count
+            acc[1] += cum
+            acc[2] += self_s
+        return {
+            name: (int(c), cum, self_s)
+            for name, (c, cum, self_s) in out.items()
+        }
+
+    def total_self_s(self) -> float:
+        return sum(entry[2] for entry in self.paths.values())
+
+
+def load_events(path) -> List[dict]:
+    """Parse a JSONL trace file, skipping blank lines."""
+    source = Path(path)
+    if not source.exists():
+        raise TraceError(f"trace file not found: {source}")
+    events: List[dict] = []
+    for lineno, line in enumerate(source.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{source}:{lineno}: malformed JSON: {exc}") from exc
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def build_profile(events: Sequence[dict]) -> Profile:
+    """Aggregate span events into a :class:`Profile`.
+
+    Spans whose parent id never completed (a crashed process) are
+    treated as roots; children's time is only subtracted from parents
+    that are present, so a truncated trace still sums consistently.
+    """
+    spans = [ev for ev in events if ev.get("ev") == "span"]
+    profile = Profile()
+    profile.n_spans = len(spans)
+    profile.n_processes = len({ev.get("pid") for ev in spans}) if spans else 0
+
+    by_id: Dict[str, dict] = {}
+    for ev in spans:
+        span_id = ev.get("span")
+        if isinstance(span_id, str):
+            by_id[span_id] = ev
+
+    # Sum of direct-children durations per parent id.
+    child_time: Dict[str, float] = {}
+    for ev in spans:
+        parent = ev.get("parent")
+        if isinstance(parent, str) and parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + float(
+                ev.get("dur", 0.0)
+            )
+
+    path_cache: Dict[str, Tuple[str, ...]] = {}
+
+    def path_of(ev: dict) -> Tuple[str, ...]:
+        span_id = ev.get("span")
+        if isinstance(span_id, str) and span_id in path_cache:
+            return path_cache[span_id]
+        chain: List[str] = []
+        seen = set()
+        node: Optional[dict] = ev
+        while node is not None:
+            chain.append(str(node.get("name", "?")))
+            parent = node.get("parent")
+            if not isinstance(parent, str) or parent in seen:
+                break
+            seen.add(parent)
+            node = by_id.get(parent)
+        path = tuple(reversed(chain))
+        if isinstance(span_id, str):
+            path_cache[span_id] = path
+        return path
+
+    for ev in spans:
+        dur = float(ev.get("dur", 0.0))
+        span_id = ev.get("span")
+        self_s = dur - child_time.get(span_id, 0.0) if isinstance(span_id, str) else dur
+        path = path_of(ev)
+        acc = profile.paths.setdefault(path, [0, 0.0, 0.0])
+        acc[0] += 1
+        acc[1] += dur
+        acc[2] += self_s
+        profile.durations.setdefault(path[-1], []).append(dur)
+
+    for ev in events:
+        if ev.get("ev") == "point":
+            name = str(ev.get("name", "?"))
+            profile.points[name] = profile.points.get(name, 0) + 1
+    return profile
+
+
+# --------------------------------------------------------------------------
+# Rendering
+# --------------------------------------------------------------------------
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:8.1f}s"
+    if seconds >= 0.1:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.3f}ms"
+
+
+def render_report(profile: Profile, top: int = 40) -> str:
+    """The human-readable profile: tree, histograms, point events."""
+    lines: List[str] = []
+    total = profile.total_self_s()
+    lines.append(
+        f"trace: {profile.n_spans} span(s) across "
+        f"{profile.n_processes} process(es), "
+        f"total traced time {total:.3f}s"
+    )
+    lines.append("")
+    lines.append(f"{'cumulative':>12} {'self':>12} {'count':>8}  span")
+    lines.append(f"{'-' * 12:>12} {'-' * 12:>12} {'-' * 8:>8}  {'-' * 40}")
+
+    # Depth-first over the path tree, children sorted by cumulative time.
+    children: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    roots: List[Tuple[str, ...]] = []
+    for path in profile.paths:
+        if len(path) == 1:
+            roots.append(path)
+        else:
+            children.setdefault(path[:-1], []).append(path)
+
+    def cum_of(path: Tuple[str, ...]) -> float:
+        return profile.paths[path][1]
+
+    emitted = 0
+
+    def walk(path: Tuple[str, ...], depth: int) -> None:
+        nonlocal emitted
+        if emitted >= top:
+            return
+        count, cum, self_s = profile.paths[path]
+        indent = "  " * depth
+        lines.append(
+            f"{_fmt_s(cum):>12} {_fmt_s(self_s):>12} {int(count):>8}  "
+            f"{indent}{path[-1]}"
+        )
+        emitted += 1
+        for child in sorted(children.get(path, []), key=cum_of, reverse=True):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=cum_of, reverse=True):
+        walk(root, 0)
+    hidden = len(profile.paths) - emitted
+    if hidden > 0:
+        lines.append(f"... {hidden} more path(s) (raise --top to see them)")
+
+    lines.append("")
+    lines.append("duration histograms (per span kind):")
+    for name in sorted(
+        profile.durations, key=lambda n: -sum(profile.durations[n])
+    ):
+        lines.extend(_histogram_lines(name, profile.durations[name]))
+
+    if profile.points:
+        lines.append("")
+        lines.append("point events:")
+        for name in sorted(profile.points):
+            lines.append(f"  {profile.points[name]:>8}  {name}")
+    return "\n".join(lines)
+
+
+def _histogram_lines(name: str, durations: Sequence[float]) -> List[str]:
+    buckets = [0] * (len(_HISTO_BOUNDS) + 1)
+    for dur in durations:
+        for i, bound in enumerate(_HISTO_BOUNDS):
+            if dur <= bound:
+                buckets[i] += 1
+                break
+        else:
+            buckets[-1] += 1
+    peak = max(buckets)
+    lines = [f"  {name}  (n={len(durations)}, total={sum(durations):.3f}s)"]
+    labels = [f"<={bound:g}s" for bound in _HISTO_BOUNDS] + [
+        f">{_HISTO_BOUNDS[-1]:g}s"
+    ]
+    for label, count in zip(labels, buckets):
+        if not count:
+            continue
+        bar = "#" * max(1, round(30 * count / peak))
+        lines.append(f"    {label:>10} {count:>8} {bar}")
+    return lines
+
+
+def render_diff(a: Profile, b: Profile, top: int = 40) -> str:
+    """Per-span-name comparison of two profiles (b relative to a)."""
+    names_a = a.by_name()
+    names_b = b.by_name()
+    all_names = sorted(
+        set(names_a) | set(names_b),
+        key=lambda n: -abs(names_b.get(n, (0, 0.0, 0.0))[1]
+                           - names_a.get(n, (0, 0.0, 0.0))[1]),
+    )
+    lines = [
+        f"diff: A={a.total_self_s():.3f}s traced, B={b.total_self_s():.3f}s traced",
+        "",
+        f"{'cum A':>12} {'cum B':>12} {'delta':>12} {'ratio':>7} "
+        f"{'n A':>7} {'n B':>7}  span",
+    ]
+    for name in all_names[:top]:
+        count_a, cum_a, _ = names_a.get(name, (0, 0.0, 0.0))
+        count_b, cum_b, _ = names_b.get(name, (0, 0.0, 0.0))
+        delta = cum_b - cum_a
+        ratio = f"{cum_b / cum_a:7.2f}" if cum_a else "    new"
+        lines.append(
+            f"{_fmt_s(cum_a):>12} {_fmt_s(cum_b):>12} {_fmt_s(delta):>12} "
+            f"{ratio} {count_a:>7} {count_b:>7}  {name}"
+        )
+    hidden = len(all_names) - min(len(all_names), top)
+    if hidden > 0:
+        lines.append(f"... {hidden} more span kind(s)")
+    return "\n".join(lines)

@@ -120,6 +120,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--save-faults", default=None, metavar="PATH",
         help="write the session's (generated or loaded) fault timeline to PATH",
     )
+    run_cmd.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the opt-in telemetry block (metrics snapshot, wall "
+        "clocks) to the JSON report; canonical forms drop it either way",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
 
@@ -211,6 +216,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         placer_params=placer_params,
         migrate=not args.no_migrate,
         ttl_s=args.ttl_s,
+        telemetry=args.telemetry,
         **session_kwargs,
     )
     oracle = None
@@ -296,7 +302,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (``python -m repro.service``); exit code."""
+    from repro import obs
+
     args = _build_parser().parse_args(argv)
+    obs.apply_observability_args(args)
     try:
         return args.handler(args)
     except ReproError as exc:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cloud.provider import VMFlow
 from repro.core.measurement.orchestrator import NetworkMeasurer
 from repro.core.network_profile import NetworkProfile
@@ -30,7 +31,13 @@ DEGRADED_FLOOR_BPS = 1.0
 
 @dataclass
 class CacheStats:
-    """Counters describing how much mesh work the TTL cache avoided."""
+    """Counters describing how much mesh work the TTL cache avoided.
+
+    Built on demand by :attr:`MeasurementCache.stats` as a thin view over
+    the cache's :class:`repro.obs.Counter` instruments (process-wide
+    aggregates live in ``obs.metrics.snapshot()`` under
+    ``repro.measure.*``).
+    """
 
     campaigns: int = 0
     pairs_measured: int = 0
@@ -75,7 +82,22 @@ class MeasurementCache:
         self.ttl_s = ttl_s
         self._rates: Dict[Tuple[str, str], float] = {}
         self._measured_at: Dict[Tuple[str, str], float] = {}
-        self.stats = CacheStats()
+        self._campaigns = obs.Counter("repro.measure.campaigns")
+        self._pairs_measured = obs.Counter("repro.measure.pairs_measured")
+        self._pairs_reused = obs.Counter("repro.measure.pairs_reused")
+        self._pairs_degraded = obs.Counter("repro.measure.pairs_degraded")
+        self._measurement_time = obs.Counter("repro.measure.time_s")
+
+    @property
+    def stats(self) -> CacheStats:
+        """This cache's counters as a :class:`CacheStats` view."""
+        return CacheStats(
+            campaigns=self._campaigns.count,
+            pairs_measured=self._pairs_measured.count,
+            pairs_reused=self._pairs_reused.count,
+            pairs_degraded=self._pairs_degraded.count,
+            measurement_time_s=self._measurement_time.value,
+        )
 
     # -------------------------------------------------------------- queries
     def mesh_pairs(self) -> List[Tuple[str, str]]:
@@ -155,26 +177,31 @@ class MeasurementCache:
                 re-probed on the next refresh.
         """
         stale = self.mesh_pairs() if force else self.stale_pairs(now)
-        if stale:
-            fresh = self.measurer.measure(
-                self.vms, background=background, pairs=stale
-            )
-            for pair, rate in fresh.rates_bps.items():
-                self._rates[pair] = rate
-                self._measured_at[pair] = fresh.measured_at_pair(*pair)
-            for pair in fresh.degraded_pairs:
-                if pair not in self._rates:
-                    predicted = fallback(pair) if fallback is not None else None
-                    self._rates[pair] = (
-                        predicted if predicted is not None and predicted > 0
-                        else DEGRADED_FLOOR_BPS
-                    )
-            self.stats.campaigns += 1
-            self.stats.pairs_measured += len(stale) - len(fresh.degraded_pairs)
-            self.stats.pairs_degraded += len(fresh.degraded_pairs)
-            self.stats.measurement_time_s += fresh.measurement_duration_s
-        self.stats.pairs_reused += len(self.mesh_pairs()) - len(stale)
-        return self.profile(now)
+        with obs.span(
+            "service.cache_refresh", stale=len(stale), force=bool(force)
+        ):
+            if stale:
+                fresh = self.measurer.measure(
+                    self.vms, background=background, pairs=stale
+                )
+                for pair, rate in fresh.rates_bps.items():
+                    self._rates[pair] = rate
+                    self._measured_at[pair] = fresh.measured_at_pair(*pair)
+                for pair in fresh.degraded_pairs:
+                    if pair not in self._rates:
+                        predicted = (
+                            fallback(pair) if fallback is not None else None
+                        )
+                        self._rates[pair] = (
+                            predicted if predicted is not None and predicted > 0
+                            else DEGRADED_FLOOR_BPS
+                        )
+                self._campaigns.inc()
+                self._pairs_measured.inc(len(stale) - len(fresh.degraded_pairs))
+                self._pairs_degraded.inc(len(fresh.degraded_pairs))
+                self._measurement_time.inc(fresh.measurement_duration_s)
+            self._pairs_reused.inc(len(self.mesh_pairs()) - len(stale))
+            return self.profile(now)
 
     def profile(self, now: float) -> NetworkProfile:
         """The cache's current view as a full-mesh :class:`NetworkProfile`."""

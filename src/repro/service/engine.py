@@ -28,11 +28,13 @@ reference.
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cloud.provider import CloudProvider, VMFlow
 from repro.core.measurement.orchestrator import MeasurementPlan, NetworkMeasurer
 from repro.core.network_profile import NetworkProfile
@@ -51,6 +53,15 @@ from repro.service.cache import MeasurementCache
 from repro.service.forecast import RateForecaster, validate_predictor
 from repro.service.timeline import DEFAULT_EPOCH_S
 from repro.workloads.application import Application
+
+logger = logging.getLogger("repro.service.engine")
+
+#: Service counters (``obs.metrics.snapshot()`` under ``repro.service.*``).
+_ADMISSIONS = obs.Counter("repro.service.admissions")
+_REJECTIONS = obs.Counter("repro.service.rejections")
+_MIGRATIONS = obs.Counter("repro.service.migrations")
+_RECOVERIES = obs.Counter("repro.service.recoveries")
+_EPOCH_TICKS = obs.Counter("repro.service.epoch_ticks")
 
 
 @dataclass
@@ -142,6 +153,11 @@ class ServiceReport:
     #: Host wall clock of the whole session / of measurement+placement only.
     session_wall_s: float = 0.0
     placement_wall_s: float = 0.0
+    #: Optional observability block (``run_session(..., telemetry=True)``):
+    #: a metrics snapshot plus wall clocks.  Host-specific and therefore
+    #: excluded from :meth:`canonical_json_dict`, so bit-identity checks
+    #: and caching never see it.
+    telemetry: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------ aggregates
     def completed(self) -> List[AppOutcome]:
@@ -202,6 +218,11 @@ class ServiceReport:
             "measurement": dict(self.measurement),
             "session_wall_s": round(self.session_wall_s, 6),
             "placement_wall_s": round(self.placement_wall_s, 6),
+            **(
+                {"telemetry": dict(self.telemetry)}
+                if self.telemetry is not None
+                else {}
+            ),
         }
 
     def canonical_json_dict(self) -> dict:
@@ -209,11 +230,14 @@ class ServiceReport:
 
         Everything else is a deterministic function of (provider seed,
         timeline, arrival stream, predictor, placer) — the determinism the
-        CI service smoke job asserts.
+        CI service smoke job asserts.  The optional ``telemetry`` block
+        carries host timings and process-wide counters, so it is dropped
+        entirely.
         """
         payload = self.to_json_dict()
         payload["session_wall_s"] = 0.0
         payload["placement_wall_s"] = 0.0
+        payload.pop("telemetry", None)
         return payload
 
 
@@ -291,7 +315,8 @@ class PlacementService:
 
     # -------------------------------------------------------------- session
     def run_session(
-        self, apps: Sequence[Application], hours: float
+        self, apps: Sequence[Application], hours: float,
+        telemetry: bool = False,
     ) -> ServiceReport:
         """Admit ``apps`` as they arrive over ``hours`` epochs of service.
 
@@ -299,6 +324,11 @@ class PlacementService:
         epoch_s``); transfers still in flight at the horizon drain to
         completion (the network keeps drifting, the service just stops
         measuring and migrating).
+
+        With ``telemetry=True`` the report carries a ``telemetry`` block
+        (a process-wide :func:`repro.obs.metrics.snapshot` plus wall
+        clocks).  It is opt-in because it is host-specific; canonical
+        forms drop it either way.
         """
         if not apps:
             raise ServiceError("a session needs at least one application")
@@ -319,6 +349,35 @@ class PlacementService:
                 f"session horizon of {horizon:.0f}s"
             )
 
+        logger.info(
+            "session: %d app(s) over %.1f epoch(s) of %.0fs, predictor=%s",
+            len(ordered), hours, self.epoch_s, self.predictor,
+        )
+        with obs.span(
+            "service.session",
+            apps=len(ordered), hours=hours, predictor=self.predictor,
+        ):
+            report = self._session_loop(ordered, hours, horizon)
+        if telemetry:
+            report.telemetry = {
+                "metrics": obs.metrics.snapshot(),
+                "session_wall_s": round(report.session_wall_s, 6),
+                "placement_wall_s": round(report.placement_wall_s, 6),
+                "trace_path": obs.trace_path(),
+            }
+        logger.info(
+            "session: %d completed, %d rejected, %d migration(s), "
+            "%d recovery action(s) in %.2fs",
+            len(report.completed()), len(report.rejected()),
+            len(report.migrations), len(report.recovery),
+            report.session_wall_s,
+        )
+        return report
+
+    def _session_loop(
+        self, ordered: List[Application], hours: float, horizon: float
+    ) -> ServiceReport:
+        """The session body (see :meth:`run_session`, which spans it)."""
         timeline = self.provider.hose_timeline
         session_started = time.perf_counter()
         report = ServiceReport(
@@ -464,6 +523,19 @@ class PlacementService:
         epoch: int,
     ) -> None:
         """React to the fault events that took effect since the last check."""
+        with obs.span("service.recover", epoch=epoch, events=len(events)):
+            self._handle_fault_events_inner(
+                events, running, outcomes, now, epoch
+            )
+
+    def _handle_fault_events_inner(
+        self,
+        events: Sequence[FaultEvent],
+        running: Dict[str, LiveApp],
+        outcomes: Dict[str, AppOutcome],
+        now: float,
+        epoch: int,
+    ) -> None:
         for event in events:
             if isinstance(event, VmPreemption):
                 self._recover_preemption(event, running, outcomes, now, epoch)
@@ -472,7 +544,7 @@ class PlacementService:
             elif isinstance(event, ProbeLoss):
                 # The measurement layer already absorbed this (retry, then
                 # forecast fallback); record that the service coasted.
-                self._recovery.append(
+                self._record_recovery(
                     RecoveryAction(
                         time_s=now,
                         event_time_s=event.effect_time_s,
@@ -482,6 +554,21 @@ class PlacementService:
                         action="degraded-coast",
                     )
                 )
+
+    def _record_recovery(self, action: RecoveryAction) -> None:
+        """Append a healing step, counting and logging it."""
+        self._recovery.append(action)
+        _RECOVERIES.inc()
+        logger.info(
+            "epoch %d: %s on %s -> %s (latency %.0fs%s)",
+            action.epoch, action.kind, action.target, action.action,
+            action.latency_s,
+            f", apps: {', '.join(action.apps)}" if action.apps else "",
+        )
+        obs.point(
+            "service.recovery", kind=action.kind, target=action.target,
+            action=action.action, epoch=action.epoch,
+        )
 
     def _apps_on_vm(self, running: Dict[str, LiveApp], vm: str) -> List[str]:
         """Running (not-done) applications with at least one task on ``vm``."""
@@ -507,7 +594,7 @@ class PlacementService:
         survivors = [m for m in self.cluster.machines if m.name != vm]
         if len(survivors) < 2:
             # Too few VMs left to re-place or even measure: coast and hope.
-            self._recovery.append(
+            self._record_recovery(
                 RecoveryAction(
                     time_s=now, event_time_s=event.time_s, epoch=epoch,
                     kind="vm-preemption", target=vm,
@@ -550,7 +637,7 @@ class PlacementService:
             state.placement = placement
             outcomes[name].recoveries += 1
             replaced.append(name)
-        self._recovery.append(
+        self._record_recovery(
             RecoveryAction(
                 time_s=now, event_time_s=event.time_s, epoch=epoch,
                 kind="vm-preemption", target=vm,
@@ -561,7 +648,7 @@ class PlacementService:
             )
         )
         if rejected:
-            self._recovery.append(
+            self._record_recovery(
                 RecoveryAction(
                     time_s=now, event_time_s=event.time_s, epoch=epoch,
                     kind="vm-preemption", target=vm,
@@ -589,7 +676,7 @@ class PlacementService:
             action = "re-measured"
         else:
             action = "degraded-coast"
-        self._recovery.append(
+        self._record_recovery(
             RecoveryAction(
                 time_s=now, event_time_s=event.start_s, epoch=epoch,
                 kind="link-degradation", target=vm,
@@ -633,6 +720,19 @@ class PlacementService:
         epoch: int,
     ) -> None:
         """Record history, refresh the mesh, and re-evaluate placements."""
+        _EPOCH_TICKS.inc()
+        with obs.span(
+            "service.epoch", epoch=epoch, running=len(running)
+        ):
+            self._epoch_tick_inner(running, outcomes, now, epoch)
+
+    def _epoch_tick_inner(
+        self,
+        running: Dict[str, LiveApp],
+        outcomes: Dict[str, AppOutcome],
+        now: float,
+        epoch: int,
+    ) -> None:
         if self.forecaster is not None:
             # The cache's state at the boundary is what the service observed
             # during the epoch that just completed.
@@ -675,6 +775,12 @@ class PlacementService:
             state.placement, event = proposal
             outcomes[name].migrations += 1
             self._migrations.append(event)
+            _MIGRATIONS.inc()
+            logger.info(
+                "epoch %d: migrated %s (%d task(s), predicted gain %.1f%%)",
+                epoch, name, len(event.moved_tasks),
+                100.0 * event.estimated_gain_fraction,
+            )
 
     def _admit_due(
         self,
@@ -699,7 +805,17 @@ class PlacementService:
                     arrived_at=now,
                     error=f"{type(exc).__name__}: {exc}",
                 )
+                _REJECTIONS.inc()
+                logger.info(
+                    "t=%.0fs: rejected %s (%s)", now, app.name,
+                    type(exc).__name__,
+                )
                 continue
+            _ADMISSIONS.inc()
+            logger.debug(
+                "t=%.0fs: admitted %s (%d task(s))",
+                now, app.name, len(app.task_names),
+            )
             running[app.name] = LiveApp(
                 app=app,
                 placement=placement,

@@ -177,12 +177,15 @@ def run_churn_session(
     migrate: bool = True,
     improvement_threshold: float = 0.1,
     ttl_s: Optional[float] = None,
+    telemetry: bool = False,
     **session_kwargs,
 ) -> ServiceReport:
     """Build a churn session and run the service over it.
 
     ``placer`` is a name from the experiment placer registry (aliases
-    accepted); ``session_kwargs`` go to :func:`build_churn_session`.
+    accepted); ``session_kwargs`` go to :func:`build_churn_session`;
+    ``telemetry`` attaches the opt-in observability block to the report
+    (see :meth:`PlacementService.run_session`).
     """
     provider, cluster, apps, timeline = build_churn_session(
         seed, **session_kwargs
@@ -197,7 +200,7 @@ def run_churn_session(
         improvement_threshold=improvement_threshold,
     )
     hours = float(session_kwargs.get("hours", 6.0))
-    return service.run_session(apps, hours=hours)
+    return service.run_session(apps, hours=hours, telemetry=telemetry)
 
 
 def _resolve_placer(

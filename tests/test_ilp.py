@@ -388,14 +388,19 @@ def test_cli_cache_stats_flag(tmp_path, capsys):
     assert "executed 0 trial(s)" in warm
     assert "store stats: hits=2" in warm
 
-    # --cache-stats without --cache-dir is a usage error.
+    # --cache-stats is now a deprecated alias for --stats, so it works
+    # without a store too: no store line, telemetry snapshot only.
     assert (
         cli_main(
             ["run", "--scenario", "smoke", "--trials", "1",
              "--placers", "greedy", "--cache-stats", "--output", str(out)]
         )
-        == 2
+        == 0
     )
+    captured = capsys.readouterr()
+    assert "note: --cache-stats is deprecated" in captured.err
+    assert "store stats:" not in captured.out
+    assert "telemetry snapshot:" in captured.out
 
 
 def test_cli_rejects_malformed_placer_param(tmp_path):
